@@ -1,0 +1,50 @@
+"""Benchmark regenerating Figure 14: error bound and runtime versus MPS size.
+
+The sweep runs the Ising benchmark at increasing bond dimensions.  The shape
+assertions mirror the figure: bounds improve (weakly) and saturate as the
+width grows, while runtimes grow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure14 import run_figure14
+
+from conftest import experiment_config, experiment_scale
+
+_SCALE = experiment_scale()
+_WIDTHS = (1, 2, 4, 8, 16, 32, 64, 128) if _SCALE == "full" else (1, 2, 4, 8, 16)
+_POINTS = {}
+
+
+@pytest.mark.parametrize("width", _WIDTHS)
+def test_figure14_point(benchmark, width):
+    config = experiment_config()
+
+    def run():
+        return run_figure14(
+            scale=_SCALE,
+            benchmark="Isingmodel45",
+            widths=[width],
+            config=config,
+        ).points[0]
+
+    point = benchmark.pedantic(run, rounds=1, iterations=1)
+    _POINTS[width] = point
+    benchmark.extra_info["error_bound"] = point.error_bound
+    benchmark.extra_info["final_delta"] = point.final_delta
+    assert point.error_bound > 0
+
+
+def test_figure14_shape():
+    if len(_POINTS) < len(_WIDTHS):
+        pytest.skip("width benchmarks did not all run")
+    widths = sorted(_POINTS)
+    bounds = [_POINTS[w].error_bound for w in widths]
+    deltas = [_POINTS[w].final_delta for w in widths]
+    # Wider MPS => (weakly) tighter bound and smaller truncation error.
+    assert bounds[-1] <= bounds[0] + 1e-9
+    assert deltas[-1] <= deltas[0] + 1e-12
+    for narrow, wide in zip(bounds, bounds[1:]):
+        assert wide <= narrow + 1e-6

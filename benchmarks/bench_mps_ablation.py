@@ -1,0 +1,63 @@
+"""Ablation benchmark: MPS approximator cost and truncation-error scaling.
+
+Measures the throughput of the tensor-network substrate itself (gate
+application and reduced-density-matrix extraction at several bond dimensions)
+and checks the qualitative scaling DESIGN.md documents: larger widths cost
+more per gate but accumulate less truncation error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mps import MPSApproximator
+from repro.programs import IsingParameters, ising_circuit
+
+_WIDTHS = (4, 16, 64)
+_DELTAS: dict[int, float] = {}
+
+
+def _workload():
+    return ising_circuit(
+        12, IsingParameters(steps=3, time_step=0.3), initial_superposition=True
+    )
+
+
+@pytest.mark.parametrize("width", _WIDTHS)
+def test_mps_circuit_application(benchmark, width):
+    circuit = _workload()
+
+    def run():
+        approximator = MPSApproximator.zero_state(circuit.num_qubits, width=width)
+        approximator.apply_circuit(circuit)
+        return approximator
+
+    approximator = benchmark.pedantic(run, rounds=1, iterations=2)
+    _DELTAS[width] = approximator.delta
+    benchmark.extra_info["delta"] = approximator.delta
+    benchmark.extra_info["max_bond"] = approximator.mps.max_bond_dimension()
+    assert approximator.delta >= 0.0
+
+
+def test_truncation_error_decreases_with_width():
+    if len(_DELTAS) < len(_WIDTHS):
+        pytest.skip("width benchmarks did not all run")
+    deltas = [_DELTAS[w] for w in sorted(_DELTAS)]
+    assert deltas[-1] <= deltas[0] + 1e-12
+
+
+@pytest.mark.parametrize("width", (8, 32))
+def test_local_predicate_extraction(benchmark, width):
+    circuit = _workload()
+    approximator = MPSApproximator.zero_state(circuit.num_qubits, width=width)
+    approximator.apply_circuit(circuit)
+    rng = np.random.default_rng(0)
+    pairs = [tuple(sorted(rng.choice(circuit.num_qubits, 2, replace=False))) for _ in range(8)]
+
+    def run():
+        return [approximator.local_predicate(pair).rho_local for pair in pairs]
+
+    rhos = benchmark.pedantic(run, rounds=2, iterations=2)
+    for rho in rhos:
+        assert np.isclose(np.trace(rho).real, 1.0, atol=1e-8)

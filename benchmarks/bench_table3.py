@@ -1,0 +1,56 @@
+"""Benchmark regenerating Table 3: qubit-mapping evaluation on the emulated device.
+
+Shape assertions (the paper's two findings):
+
+* Gleipnir's bound dominates the emulator's measured error for every mapping
+  (measured against the exact emulated distribution);
+* the ranking of mappings by bound matches the ranking by measured error, for
+  both GHZ-3 and GHZ-5.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table3 import run_table3
+
+from conftest import experiment_config
+
+
+def test_table3(benchmark):
+    config = experiment_config()
+
+    def run():
+        return run_table3(shots=None, config=config, seed=11)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for row in result.rows:
+        benchmark.extra_info[f"{row.circuit}:{row.mapping_label}"] = {
+            "bound": row.gleipnir_bound,
+            "measured": row.measured_error,
+        }
+
+    assert result.all_bounds_dominate()
+    assert result.ranking_consistent("GHZ-3")
+    assert result.ranking_consistent("GHZ-5")
+
+    ghz3 = {row.mapping_label: row for row in result.rows_for("GHZ-3")}
+    # The calibration-driven ground truth of the synthetic device: the middle
+    # window (1-2-3) is the cleanest placement, the 0-1-2 window the noisiest.
+    assert ghz3["1-2-3"].gleipnir_bound < ghz3["2-3-4"].gleipnir_bound < ghz3["0-1-2"].gleipnir_bound
+
+    ghz5 = {row.mapping_label: row for row in result.rows_for("GHZ-5")}
+    # The broom-shaped GHZ-5 is routing-free under the reversed-head mapping.
+    assert ghz5["2-1-0-3-4"].gleipnir_bound < ghz5["0-1-2-3-4"].gleipnir_bound
+
+
+def test_table3_with_finite_shots(benchmark):
+    """With realistic shot counts the ranking remains consistent."""
+    config = experiment_config()
+
+    def run():
+        return run_table3(shots=8192, config=config, seed=12)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.ranking_consistent("GHZ-3")

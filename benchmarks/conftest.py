@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark harness.
+
+``pytest benchmarks/ --benchmark-only`` runs a reduced but shape-preserving
+configuration of every experiment in the paper's evaluation; setting
+``REPRO_FULL=1`` switches to the paper-scale configuration (10–100 qubits,
+MPS width 128), with runtimes of minutes per row as in the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import AnalysisConfig, SDPConfig, full_scale_requested
+
+
+def experiment_scale() -> str:
+    return "full" if full_scale_requested() else "reduced"
+
+
+def experiment_mps_width() -> int:
+    return 128 if full_scale_requested() else 16
+
+
+def experiment_config() -> AnalysisConfig:
+    return AnalysisConfig(
+        mps_width=experiment_mps_width(),
+        sdp=SDPConfig(max_iterations=1500, tolerance=3e-6),
+    )
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return experiment_scale()
+
+
+@pytest.fixture(scope="session")
+def analysis_config() -> AnalysisConfig:
+    return experiment_config()

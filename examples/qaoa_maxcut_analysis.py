@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Error analysis of a QAOA max-cut circuit (the Table 2 workload).
+
+Builds a QAOA circuit for max-cut on a random 3-regular graph, analyses it
+under the paper's bit-flip noise model, and reports:
+
+* the verified Gleipnir bound vs the worst-case (unconstrained diamond norm)
+  bound,
+* how the bound tightens as the MPS width grows (a miniature Figure 14),
+* which gates contribute most to the bound (useful when deciding where error
+  mitigation effort should go).
+
+Run:  python examples/qaoa_maxcut_analysis.py [num_vertices]
+"""
+
+import sys
+
+from repro import AnalysisConfig, GleipnirAnalyzer, NoiseModel
+from repro.core import worst_case_bound
+from repro.programs import QAOAParameters, qaoa_maxcut_circuit, random_regular_graph
+
+
+def main(num_vertices: int = 12) -> None:
+    graph = random_regular_graph(num_vertices, 3, seed=7)
+    params = QAOAParameters.single_round(gamma=0.3, beta=0.25)
+    circuit = qaoa_maxcut_circuit(graph, params, name=f"qaoa_{num_vertices}")
+    noise = NoiseModel.uniform_bit_flip(1e-4)
+
+    print(f"QAOA max-cut on a random 3-regular graph with {num_vertices} vertices")
+    print(f"  edges: {graph.number_of_edges()}, gates: {circuit.gate_count()}\n")
+
+    worst = worst_case_bound(circuit, noise)
+    print(f"Worst-case bound (state-agnostic): {worst.value:.4e}\n")
+
+    print(f"{'MPS width':>10s} | {'Gleipnir bound':>15s} | {'improvement':>12s} | {'time (s)':>9s}")
+    print("-" * 57)
+    last = None
+    for width in (2, 4, 8, 16):
+        analyzer = GleipnirAnalyzer(noise, AnalysisConfig(mps_width=width))
+        result = analyzer.analyze(circuit)
+        improvement = 1.0 - result.error_bound / worst.value
+        print(
+            f"{width:>10d} | {result.error_bound:>15.4e} | {100 * improvement:>11.1f}% "
+            f"| {result.elapsed_seconds:>9.2f}"
+        )
+        last = result
+
+    print("\nFive largest per-gate contributions at the widest setting:")
+    contributions = sorted(last.gate_contributions(), key=lambda row: -row.epsilon)[:5]
+    for row in contributions:
+        print(f"  {row.gate_label:>12s} on {row.qubits}: eps = {row.epsilon:.3e}")
+
+    print(
+        "\nInterpretation: gates acting on qubits whose local state has drifted "
+        "away from an X-basis eigenstate dominate the bound; the bit-flip noise "
+        "is invisible on the |+>-like states QAOA starts from."
+    )
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    main(size)

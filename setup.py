@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that
+fully offline environments (no access to PyPI for build isolation) can still
+install the package with ``python setup.py develop`` or
+``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""Gleipnir: practical, verified error analysis for quantum programs.
+
+A from-scratch reproduction of the PLDI 2021 paper *"Gleipnir: Toward
+Practical Error Analysis for Quantum Programs"*.  See README.md for a tour
+and DESIGN.md for the system inventory.
+"""
+
+from .version import __version__
+from .config import AnalysisConfig, ResourceGuard, SDPConfig
+from .circuits import Circuit
+from .noise import NoiseModel
+from .core import (
+    AnalysisResult,
+    Derivation,
+    GleipnirAnalyzer,
+    analyze_program,
+    exact_error,
+    lqr_full_simulation_bound,
+    worst_case_bound,
+)
+from .mps import MPS, MPSApproximator, approximate_program
+from .sdp import (
+    DiamondNormBound,
+    constrained_diamond_norm,
+    diamond_distance,
+    gate_error_bound,
+    rho_delta_diamond_norm,
+)
+from .errors import (
+    CertificationError,
+    CircuitError,
+    DerivationCheckError,
+    DeviceError,
+    ExperimentError,
+    GateError,
+    LogicError,
+    MPSError,
+    NoiseModelError,
+    ReproError,
+    ResourceLimitExceeded,
+    SDPError,
+    SimulationError,
+)
+
+__all__ = [
+    "__version__",
+    "AnalysisConfig",
+    "ResourceGuard",
+    "SDPConfig",
+    "Circuit",
+    "NoiseModel",
+    "AnalysisResult",
+    "Derivation",
+    "GleipnirAnalyzer",
+    "analyze_program",
+    "exact_error",
+    "lqr_full_simulation_bound",
+    "worst_case_bound",
+    "MPS",
+    "MPSApproximator",
+    "approximate_program",
+    "DiamondNormBound",
+    "constrained_diamond_norm",
+    "diamond_distance",
+    "gate_error_bound",
+    "rho_delta_diamond_norm",
+    "ReproError",
+    "CircuitError",
+    "GateError",
+    "SimulationError",
+    "ResourceLimitExceeded",
+    "NoiseModelError",
+    "MPSError",
+    "SDPError",
+    "CertificationError",
+    "LogicError",
+    "DerivationCheckError",
+    "DeviceError",
+    "ExperimentError",
+]

@@ -1,0 +1,44 @@
+"""Quantum circuit IR: gates, program AST, builder, parser, DAG, transforms."""
+
+from .gates import (
+    Gate,
+    available_gates,
+    cnot,
+    crz,
+    custom_gate,
+    cx,
+    cz,
+    gate_by_name,
+    h,
+    identity,
+    iswap,
+    phase,
+    rx,
+    ry,
+    rz,
+    rzz,
+    s,
+    sdg,
+    swap,
+    t,
+    tdg,
+    u3,
+    x,
+    y,
+    z,
+)
+from .program import GateOp, IfMeasure, Program, Seq, Skip, gate_op, seq
+from .circuit import Circuit
+from .parser import dumps, loads, parse_circuit, serialize_circuit
+from .dag import CircuitDAG, circuit_depth, circuit_moments
+from .drawer import draw_circuit
+from .transforms import (
+    count_gates_by_name,
+    decompose_rzz,
+    decompose_swaps,
+    fuse_single_qubit_gates,
+    merge_adjacent_inverses,
+    route_to_coupling,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,92 @@
+"""DAG and moment views of branch-free circuits.
+
+Compiler passes (routing, scheduling) and reports use a dependency view of a
+circuit: two gates commute structurally when they act on disjoint qubits.
+This module builds that DAG with :mod:`networkx` and derives moments (layers
+of simultaneously executable gates) and the critical-path depth.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..errors import CircuitError
+from .circuit import Circuit
+from .program import GateOp
+
+__all__ = ["CircuitDAG", "circuit_moments", "circuit_depth"]
+
+
+class CircuitDAG:
+    """Dependency DAG of a branch-free circuit.
+
+    Nodes are integers (the position of the gate in program order) with a
+    ``"op"`` attribute holding the :class:`~repro.circuits.program.GateOp`.
+    There is an edge ``i -> j`` when gate ``j`` is the next gate after ``i``
+    on at least one shared qubit.
+    """
+
+    def __init__(self, circuit: Circuit):
+        if circuit.has_branches():
+            raise CircuitError("CircuitDAG only supports branch-free circuits")
+        self._circuit = circuit
+        self._graph = nx.DiGraph()
+        last_on_qubit: dict[int, int] = {}
+        for index, op in enumerate(circuit.operations()):
+            self._graph.add_node(index, op=op)
+            for qubit in op.qubits:
+                previous = last_on_qubit.get(qubit)
+                if previous is not None:
+                    self._graph.add_edge(previous, index)
+                last_on_qubit[qubit] = index
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        return self._graph
+
+    @property
+    def circuit(self) -> Circuit:
+        return self._circuit
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def operations(self) -> list[GateOp]:
+        """Gates in a valid topological order."""
+        return [self._graph.nodes[i]["op"] for i in nx.topological_sort(self._graph)]
+
+    def moments(self) -> list[list[GateOp]]:
+        """Group gates into moments using an as-soon-as-possible schedule."""
+        level: dict[int, int] = {}
+        for node in nx.topological_sort(self._graph):
+            predecessors = list(self._graph.predecessors(node))
+            level[node] = 1 + max((level[p] for p in predecessors), default=-1)
+        num_levels = 1 + max(level.values(), default=-1)
+        moments: list[list[GateOp]] = [[] for _ in range(num_levels)]
+        for node, lvl in level.items():
+            moments[lvl].append(self._graph.nodes[node]["op"])
+        return moments
+
+    def depth(self) -> int:
+        """Critical path length (number of moments)."""
+        return len(self.moments())
+
+    def two_qubit_depth(self) -> int:
+        """Depth counting only 2-qubit gates (a common NISQ cost proxy)."""
+        level: dict[int, int] = {}
+        for node in nx.topological_sort(self._graph):
+            op = self._graph.nodes[node]["op"]
+            predecessors = list(self._graph.predecessors(node))
+            base = max((level[p] for p in predecessors), default=0)
+            level[node] = base + (1 if op.gate.num_qubits >= 2 else 0)
+        return max(level.values(), default=0)
+
+
+def circuit_moments(circuit: Circuit) -> list[list[GateOp]]:
+    """Moments (layers) of a branch-free circuit."""
+    return CircuitDAG(circuit).moments()
+
+
+def circuit_depth(circuit: Circuit) -> int:
+    """Critical-path depth of a branch-free circuit."""
+    return CircuitDAG(circuit).depth()

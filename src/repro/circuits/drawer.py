@@ -1,0 +1,78 @@
+"""ASCII rendering of quantum circuits (the style of Figures 2 and 16).
+
+``draw_circuit`` lays a branch-free circuit out in moments (columns of gates
+that can execute simultaneously) and renders one text row per qubit wire::
+
+    q0: ─[h]──●────────
+              │
+    q1: ─────[X]──[rz]─
+
+Control qubits of CX/CZ gates are drawn as ``●`` and connected to their
+targets with a vertical bar; other multi-qubit gates print their name on each
+wire they touch.  The output is meant for logs, examples, and debugging — it
+is not a full typesetting engine.
+"""
+
+from __future__ import annotations
+
+from ..errors import CircuitError
+from .circuit import Circuit
+from .dag import circuit_moments
+from .program import GateOp
+
+__all__ = ["draw_circuit"]
+
+_CONTROL_TARGET_GATES = {"cx": "X", "cz": "Z", "crz": "rz"}
+
+
+def _gate_cells(op: GateOp) -> dict[int, str]:
+    """Label to print on each wire the operation touches."""
+    if op.gate.num_qubits == 1:
+        return {op.qubits[0]: f"[{op.gate.label()}]"}
+    if op.gate.name in _CONTROL_TARGET_GATES:
+        control, target = op.qubits
+        return {control: "●", target: f"[{_CONTROL_TARGET_GATES[op.gate.name]}]"}
+    if op.gate.name == "swap":
+        return {op.qubits[0]: "x", op.qubits[1]: "x"}
+    return {qubit: f"[{op.gate.label()}]" for qubit in op.qubits}
+
+
+def draw_circuit(circuit: Circuit, *, wire: str = "─") -> str:
+    """Render a branch-free circuit as ASCII art, one row per qubit."""
+    if circuit.has_branches():
+        raise CircuitError("draw_circuit only supports branch-free circuits")
+    moments = circuit_moments(circuit)
+    num_qubits = circuit.num_qubits
+
+    columns: list[dict[int, str]] = []
+    connectors: list[set[int]] = []
+    for moment in moments:
+        cells: dict[int, str] = {}
+        links: set[int] = set()
+        for op in moment:
+            cells.update(_gate_cells(op))
+            if op.gate.num_qubits == 2:
+                low, high = sorted(op.qubits)
+                links.update(range(low, high))
+        columns.append(cells)
+        connectors.append(links)
+
+    widths = [
+        max((len(cell) for cell in cells.values()), default=1) for cells in columns
+    ]
+    label_width = len(f"q{num_qubits - 1}: ")
+
+    rows: list[str] = []
+    for qubit in range(num_qubits):
+        parts = [f"q{qubit}: ".ljust(label_width)]
+        for cells, width in zip(columns, widths):
+            cell = cells.get(qubit, "")
+            parts.append(wire + cell.center(width, wire) + wire)
+        rows.append("".join(parts))
+        if qubit < num_qubits - 1:
+            spacer = [" " * label_width]
+            for links, width in zip(connectors, widths):
+                mark = "│" if qubit in links else " "
+                spacer.append(" " + mark.center(width) + " ")
+            rows.append("".join(spacer).rstrip())
+    return "\n".join(row.rstrip() for row in rows)

@@ -1,0 +1,159 @@
+"""A small textual circuit format (parser and serialiser).
+
+The format is intentionally minimal — enough to store benchmark circuits on
+disk and to write readable tests — while still covering the whole program
+syntax of the paper, including measurement branches::
+
+    # comments start with '#'
+    qubits 3
+    h 0
+    cx 0 1
+    rz(0.5) 1
+    if 2 {
+        x 0
+    } else {
+        z 0
+    }
+
+Gate names and parameters follow :func:`repro.circuits.gates.gate_by_name`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import CircuitError
+from .circuit import Circuit
+from .gates import gate_by_name
+from .program import GateOp, IfMeasure, Program
+
+__all__ = ["parse_circuit", "serialize_circuit", "loads", "dumps"]
+
+_GATE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*(?:\((?P<params>[^)]*)\))?\s*(?P<qubits>[0-9 ,]*)$"
+)
+_IF_RE = re.compile(r"^if\s+(?P<qubit>\d+)\s*\{$")
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.lines = self._clean(text)
+        self.position = 0
+
+    @staticmethod
+    def _clean(text: str) -> list[str]:
+        lines = []
+        for raw in text.splitlines():
+            line = raw.split("#", 1)[0].strip()
+            if line:
+                lines.append(line)
+        return lines
+
+    def peek(self) -> str | None:
+        if self.position < len(self.lines):
+            return self.lines[self.position]
+        return None
+
+    def advance(self) -> str:
+        line = self.peek()
+        if line is None:
+            raise CircuitError("unexpected end of circuit text")
+        self.position += 1
+        return line
+
+    def parse(self) -> Circuit:
+        header = self.advance()
+        match = re.match(r"^qubits\s+(\d+)$", header)
+        if not match:
+            raise CircuitError(f"expected 'qubits N' header, got {header!r}")
+        circuit = Circuit(int(match.group(1)), name="parsed")
+        while self.peek() is not None:
+            circuit.append_statement(self._parse_statement())
+        return circuit
+
+    def _parse_statement(self) -> Program:
+        line = self.advance()
+        if_match = _IF_RE.match(line)
+        if if_match:
+            return self._parse_if(int(if_match.group("qubit")))
+        return self._parse_gate(line)
+
+    def _parse_gate(self, line: str) -> GateOp:
+        match = _GATE_RE.match(line)
+        if not match:
+            raise CircuitError(f"cannot parse gate line {line!r}")
+        name = match.group("name")
+        params_text = match.group("params")
+        qubits_text = match.group("qubits").strip()
+        params = []
+        if params_text:
+            params = [float(p) for p in re.split(r"[\s,]+", params_text.strip()) if p]
+        if not qubits_text:
+            raise CircuitError(f"gate line {line!r} lists no qubits")
+        qubits = [int(q) for q in re.split(r"[\s,]+", qubits_text) if q]
+        gate = gate_by_name(name, *params)
+        return GateOp(gate, tuple(qubits))
+
+    def _parse_if(self, qubit: int) -> IfMeasure:
+        then_statements: list[Program] = []
+        else_statements: list[Program] = []
+        current = then_statements
+        while True:
+            line = self.peek()
+            if line is None:
+                raise CircuitError("unterminated 'if' block")
+            if line == "} else {":
+                self.advance()
+                current = else_statements
+                continue
+            if line == "}":
+                self.advance()
+                break
+            current.append(self._parse_statement())
+        from .program import seq
+
+        return IfMeasure(qubit, seq(*then_statements), seq(*else_statements))
+
+
+def parse_circuit(text: str) -> Circuit:
+    """Parse a circuit from its textual representation."""
+    return _Parser(text).parse()
+
+
+def loads(text: str) -> Circuit:
+    """Alias of :func:`parse_circuit`."""
+    return parse_circuit(text)
+
+
+def _serialize_statement(statement: Program, indent: int) -> list[str]:
+    pad = " " * indent
+    if isinstance(statement, GateOp):
+        params = ""
+        if statement.gate.params:
+            params = "(" + ", ".join(f"{p:.12g}" for p in statement.gate.params) + ")"
+        qubits = " ".join(str(q) for q in statement.qubits)
+        return [f"{pad}{statement.gate.name}{params} {qubits}"]
+    if isinstance(statement, IfMeasure):
+        lines = [f"{pad}if {statement.qubit} {{"]
+        for sub in statement.then_branch.statements():
+            lines.extend(_serialize_statement(sub, indent + 4))
+        lines.append(f"{pad}}} else {{")
+        for sub in statement.else_branch.statements():
+            lines.extend(_serialize_statement(sub, indent + 4))
+        lines.append(f"{pad}}}")
+        return lines
+    raise CircuitError(f"cannot serialise statement of type {type(statement).__name__}")
+
+
+def serialize_circuit(circuit: Circuit) -> str:
+    """Serialise a circuit into the textual format accepted by :func:`parse_circuit`."""
+    lines = [f"qubits {circuit.num_qubits}"]
+    for statement in circuit.statements:
+        for sub in statement.statements() if not isinstance(statement, IfMeasure) else [statement]:
+            lines.extend(_serialize_statement(sub, 0))
+    return "\n".join(lines) + "\n"
+
+
+def dumps(circuit: Circuit) -> str:
+    """Alias of :func:`serialize_circuit`."""
+    return serialize_circuit(circuit)

@@ -1,0 +1,283 @@
+"""Quantum program abstract syntax (Section 2.2 of the paper).
+
+The syntax is::
+
+    P ::= skip | P1; P2 | U(q1, ..., qk) | if q = |0> then P0 else P1
+
+represented by the classes :class:`Skip`, :class:`Seq`, :class:`GateOp` and
+:class:`IfMeasure`.  Programs are immutable trees; the builder in
+:mod:`repro.circuits.circuit` offers a friendlier fluent API for the common
+branch-free case.
+
+The denotational semantics of Figure 3 is implemented in
+:mod:`repro.semantics.density`; this module only defines the structure plus
+structural queries (gate counts, qubit usage, branch counts) needed by the
+approximator and the error logic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Iterator, Sequence
+
+from ..errors import CircuitError
+from .gates import Gate
+
+__all__ = [
+    "Program",
+    "Skip",
+    "GateOp",
+    "Seq",
+    "IfMeasure",
+    "seq",
+    "gate_op",
+]
+
+
+class Program:
+    """Base class of the program AST."""
+
+    # -- structural queries ------------------------------------------------
+    def qubits_used(self) -> frozenset[int]:
+        """Set of qubit indices referenced anywhere in the program."""
+        raise NotImplementedError
+
+    @property
+    def num_qubits(self) -> int:
+        """Smallest register size containing every referenced qubit."""
+        used = self.qubits_used()
+        return (max(used) + 1) if used else 0
+
+    def gate_count(self) -> int:
+        """Number of gate applications (maximum over branches for ``if``)."""
+        raise NotImplementedError
+
+    def total_gate_count(self) -> int:
+        """Number of gate applications summed over *all* branches."""
+        raise NotImplementedError
+
+    def branch_count(self) -> int:
+        """Number of measurement branches (1 for branch-free programs)."""
+        raise NotImplementedError
+
+    def has_branches(self) -> bool:
+        return self.branch_count() > 1
+
+    def operations(self) -> Iterator["GateOp"]:
+        """Iterate gate applications in program order.
+
+        Only valid for branch-free programs; raises
+        :class:`~repro.errors.CircuitError` otherwise.
+        """
+        if self.has_branches():
+            raise CircuitError("operations() is only defined for branch-free programs")
+        yield from self._operations()
+
+    def _operations(self) -> Iterator["GateOp"]:
+        raise NotImplementedError
+
+    def statements(self) -> list["Program"]:
+        """Flatten nested sequences into a statement list (branches kept intact)."""
+        raise NotImplementedError
+
+    # -- composition ---------------------------------------------------------
+    def then(self, other: "Program") -> "Program":
+        """Sequential composition ``self; other``."""
+        return seq(self, other)
+
+    def __rshift__(self, other: "Program") -> "Program":
+        return self.then(other)
+
+    # -- pretty printing -----------------------------------------------------
+    def pretty(self, indent: int = 0) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+
+@dataclasses.dataclass(frozen=True)
+class Skip(Program):
+    """The empty program."""
+
+    def qubits_used(self) -> frozenset[int]:
+        return frozenset()
+
+    def gate_count(self) -> int:
+        return 0
+
+    def total_gate_count(self) -> int:
+        return 0
+
+    def branch_count(self) -> int:
+        return 1
+
+    def _operations(self) -> Iterator["GateOp"]:
+        return iter(())
+
+    def statements(self) -> list[Program]:
+        return []
+
+    def pretty(self, indent: int = 0) -> str:
+        return " " * indent + "skip"
+
+
+@dataclasses.dataclass(frozen=True)
+class GateOp(Program):
+    """Application of a gate to an ordered tuple of qubits."""
+
+    gate: Gate
+    qubits: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        qubits = tuple(int(q) for q in self.qubits)
+        object.__setattr__(self, "qubits", qubits)
+        if len(qubits) != self.gate.num_qubits:
+            raise CircuitError(
+                f"gate {self.gate.name!r} needs {self.gate.num_qubits} qubits, "
+                f"got {qubits}"
+            )
+        if len(set(qubits)) != len(qubits):
+            raise CircuitError(f"gate applied to duplicate qubits {qubits}")
+        if any(q < 0 for q in qubits):
+            raise CircuitError(f"negative qubit index in {qubits}")
+
+    def qubits_used(self) -> frozenset[int]:
+        return frozenset(self.qubits)
+
+    def gate_count(self) -> int:
+        return 1
+
+    def total_gate_count(self) -> int:
+        return 1
+
+    def branch_count(self) -> int:
+        return 1
+
+    def _operations(self) -> Iterator["GateOp"]:
+        yield self
+
+    def statements(self) -> list[Program]:
+        return [self]
+
+    def pretty(self, indent: int = 0) -> str:
+        args = ", ".join(f"q{q}" for q in self.qubits)
+        return " " * indent + f"{self.gate.label()}({args})"
+
+
+@dataclasses.dataclass(frozen=True)
+class Seq(Program):
+    """Sequential composition of two or more programs."""
+
+    parts: tuple[Program, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 1:
+            raise CircuitError("Seq needs at least one part; use Skip for empty programs")
+
+    def qubits_used(self) -> frozenset[int]:
+        used: frozenset[int] = frozenset()
+        for part in self.parts:
+            used |= part.qubits_used()
+        return used
+
+    def gate_count(self) -> int:
+        return sum(part.gate_count() for part in self.parts)
+
+    def total_gate_count(self) -> int:
+        return sum(part.total_gate_count() for part in self.parts)
+
+    def branch_count(self) -> int:
+        count = 1
+        for part in self.parts:
+            count *= part.branch_count()
+        return count
+
+    def _operations(self) -> Iterator[GateOp]:
+        for part in self.parts:
+            yield from part._operations()
+
+    def statements(self) -> list[Program]:
+        flat: list[Program] = []
+        for part in self.parts:
+            flat.extend(part.statements())
+        return flat
+
+    def pretty(self, indent: int = 0) -> str:
+        return "\n".join(part.pretty(indent) for part in self.parts)
+
+
+@dataclasses.dataclass(frozen=True)
+class IfMeasure(Program):
+    """``if q = |0> then P0 else P1``: measure ``qubit`` and branch.
+
+    The measurement collapses the state; ``then_branch`` runs on outcome 0 and
+    ``else_branch`` on outcome 1 (Section 2.2).
+    """
+
+    qubit: int
+    then_branch: Program
+    else_branch: Program
+
+    def __post_init__(self) -> None:
+        if self.qubit < 0:
+            raise CircuitError(f"negative qubit index {self.qubit}")
+
+    def qubits_used(self) -> frozenset[int]:
+        return (
+            frozenset({self.qubit})
+            | self.then_branch.qubits_used()
+            | self.else_branch.qubits_used()
+        )
+
+    def gate_count(self) -> int:
+        return max(self.then_branch.gate_count(), self.else_branch.gate_count())
+
+    def total_gate_count(self) -> int:
+        return self.then_branch.total_gate_count() + self.else_branch.total_gate_count()
+
+    def branch_count(self) -> int:
+        return self.then_branch.branch_count() + self.else_branch.branch_count()
+
+    def _operations(self) -> Iterator[GateOp]:
+        raise CircuitError("operations() is only defined for branch-free programs")
+
+    def statements(self) -> list[Program]:
+        return [self]
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = " " * indent
+        lines = [pad + f"if q{self.qubit} = |0> then {{"]
+        then_body = self.then_branch.pretty(indent + 2)
+        else_body = self.else_branch.pretty(indent + 2)
+        lines.append(then_body if then_body.strip() else " " * (indent + 2) + "skip")
+        lines.append(pad + "} else {")
+        lines.append(else_body if else_body.strip() else " " * (indent + 2) + "skip")
+        lines.append(pad + "}")
+        return "\n".join(lines)
+
+
+def seq(*programs: Program) -> Program:
+    """Sequential composition, flattening nested sequences and dropping skips."""
+    flat: list[Program] = []
+    for program in programs:
+        if isinstance(program, Skip):
+            continue
+        if isinstance(program, Seq):
+            flat.extend(program.parts)
+        else:
+            flat.append(program)
+    if not flat:
+        return Skip()
+    if len(flat) == 1:
+        return flat[0]
+    return Seq(tuple(flat))
+
+
+def gate_op(gate: Gate, qubits: Sequence[int] | int) -> GateOp:
+    """Convenience constructor for a gate application."""
+    if isinstance(qubits, Iterable) and not isinstance(qubits, (str, bytes)):
+        qubit_tuple = tuple(int(q) for q in qubits)
+    else:
+        qubit_tuple = (int(qubits),)
+    return GateOp(gate, qubit_tuple)

@@ -1,0 +1,131 @@
+"""Global configuration objects for the Gleipnir reproduction.
+
+The analysis pipeline has several knobs (MPS width, SDP tolerances, caching,
+resource guards).  They are collected in :class:`AnalysisConfig` so the
+end-to-end analyzer, the experiment harness, and the benchmarks share a single
+notion of "how much effort to spend".
+
+Nothing in this module performs computation; it only carries parameters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from .errors import ResourceLimitExceeded
+
+#: Default MPS bond dimension used by the paper's evaluation (Section 7.1).
+DEFAULT_MPS_WIDTH = 128
+
+#: Default bit-flip probability of the paper's sample noise model (Section 7.1).
+DEFAULT_BIT_FLIP_PROBABILITY = 1e-4
+
+
+@dataclasses.dataclass
+class SDPConfig:
+    """Parameters of the semidefinite-programming engine (Section 6).
+
+    Attributes:
+        mode: ``"certified"`` runs the ADMM solver and repairs its dual into a
+            feasible certificate (tight, default); ``"fast"`` optimises a
+            restricted dual family analytically (looser but much cheaper);
+            ``"auto"`` uses the certified mode for 1- and 2-qubit channels and
+            falls back to fast mode above that.
+        max_iterations: ADMM iteration cap per solve.
+        tolerance: relative primal/dual residual tolerance for ADMM.
+        cache: reuse SDP results for repeated (channel, predicate) pairs.
+        cache_decimals: number of decimals used when fingerprinting the
+            predicate for the cache key.  Coarser keys give more cache hits at
+            the price of slightly looser (but still sound) bounds, because the
+            cached predicate distance is rounded *up*.
+    """
+
+    mode: str = "certified"
+    max_iterations: int = 1500
+    tolerance: float = 3e-6
+    cache: bool = True
+    cache_decimals: int = 6
+
+    def validate(self) -> None:
+        if self.mode not in ("certified", "fast", "auto"):
+            raise ValueError(f"unknown SDP mode {self.mode!r}")
+        if self.max_iterations <= 0:
+            raise ValueError("max_iterations must be positive")
+        if not 0 < self.tolerance < 1:
+            raise ValueError("tolerance must lie in (0, 1)")
+
+
+@dataclasses.dataclass
+class ResourceGuard:
+    """Budget for dense (exponential) computations.
+
+    The paper's full-simulation baseline times out after 24 hours for programs
+    with 20 or more qubits.  Rather than spending that wall-clock time, the
+    dense density-matrix simulator consults this guard and raises
+    :class:`repro.errors.ResourceLimitExceeded` when the requested computation
+    would exceed the budget, which the experiment harness reports as a
+    timeout, exactly like Table 2 does.
+    """
+
+    max_dense_qubits: int = 14
+    max_statevector_qubits: int = 24
+    max_seconds: float | None = None
+
+    def check_dense_qubits(self, num_qubits: int, *, what: str = "density matrix") -> None:
+        """Raise if a dense 4**n object would exceed the budget."""
+        if num_qubits > self.max_dense_qubits:
+            raise ResourceLimitExceeded(
+                f"{what} simulation of {num_qubits} qubits exceeds the configured "
+                f"budget of {self.max_dense_qubits} qubits "
+                f"(2^{2 * num_qubits} complex entries)"
+            )
+
+    def check_statevector_qubits(self, num_qubits: int) -> None:
+        """Raise if a dense 2**n state vector would exceed the budget."""
+        if num_qubits > self.max_statevector_qubits:
+            raise ResourceLimitExceeded(
+                f"state-vector simulation of {num_qubits} qubits exceeds the configured "
+                f"budget of {self.max_statevector_qubits} qubits"
+            )
+
+
+@dataclasses.dataclass
+class AnalysisConfig:
+    """Top-level configuration of the Gleipnir analyzer.
+
+    Attributes:
+        mps_width: bond dimension of the MPS approximator (w in the paper).
+        sdp: SDP engine configuration.
+        guard: resource guard for the dense baselines.
+        collect_derivation: record the full derivation tree (per-gate
+            judgments); disable for very large sweeps to save memory.
+        noise_after_gate: whether the noisy gate is modelled as
+            ``noise ∘ U`` (True, default) or ``U ∘ noise``.
+    """
+
+    mps_width: int = DEFAULT_MPS_WIDTH
+    sdp: SDPConfig = dataclasses.field(default_factory=SDPConfig)
+    guard: ResourceGuard = dataclasses.field(default_factory=ResourceGuard)
+    collect_derivation: bool = True
+    noise_after_gate: bool = True
+
+    def validate(self) -> None:
+        if self.mps_width < 1:
+            raise ValueError("mps_width must be at least 1")
+        self.sdp.validate()
+
+    def replace(self, **kwargs) -> "AnalysisConfig":
+        """Return a copy of this configuration with some fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+
+def full_scale_requested() -> bool:
+    """Whether the environment asks for paper-scale experiment runs.
+
+    The benchmark harness runs a reduced but shape-preserving configuration by
+    default so that ``pytest benchmarks/`` finishes in minutes.  Setting the
+    environment variable ``REPRO_FULL=1`` switches to the configuration used
+    in the paper (MPS width 128, all Table 2 rows at full size).
+    """
+    return os.environ.get("REPRO_FULL", "").strip() in ("1", "true", "yes")

@@ -1,0 +1,57 @@
+"""Judgments of the quantum error logic: ``(rho_hat, delta) |- P_omega <= eps``.
+
+A judgment records that, for every input state within trace-norm δ of the
+approximate state ρ̂, the trace distance between the noisy and ideal outputs
+of the program is at most ε (under the noise model ω).  Judgments are the
+conclusions attached to every node of a :class:`~repro.core.derivation.Derivation`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import LogicError
+
+__all__ = ["Judgment"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Judgment:
+    """The conclusion of one inference step.
+
+    Attributes:
+        delta: the predicate distance δ the judgment assumes.
+        epsilon: the certified error bound ε it concludes.
+        program_label: human-readable description of the (sub)program.
+        noise_model: name of the noise model ω.
+    """
+
+    delta: float
+    epsilon: float
+    program_label: str = ""
+    noise_model: str = ""
+
+    def __post_init__(self) -> None:
+        if self.delta < 0:
+            raise LogicError("judgment delta must be non-negative")
+        if self.epsilon < 0:
+            raise LogicError("judgment epsilon must be non-negative")
+
+    def weaken(self, *, delta: float | None = None, epsilon: float | None = None) -> "Judgment":
+        """Apply the Weaken rule: smaller δ and/or larger ε."""
+        new_delta = self.delta if delta is None else delta
+        new_epsilon = self.epsilon if epsilon is None else epsilon
+        if new_delta > self.delta:
+            raise LogicError("Weaken cannot increase the predicate distance")
+        if new_epsilon < self.epsilon:
+            raise LogicError("Weaken cannot decrease the error bound")
+        return dataclasses.replace(self, delta=new_delta, epsilon=new_epsilon)
+
+    def pretty(self) -> str:
+        return (
+            f"(rho_hat, {self.delta:.3e}) |- {self.program_label or 'P'} "
+            f"<= {self.epsilon:.3e}"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.pretty()

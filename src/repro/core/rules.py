@@ -1,0 +1,177 @@
+"""Constructors for the five inference rules of the quantum error logic.
+
+These functions build :class:`~repro.core.derivation.DerivationNode` objects
+while enforcing the side conditions of Figure 5.  The analyzer uses them to
+assemble derivations; they can also be used directly to reason about programs
+by hand (see ``examples/teleportation_branches.py``).
+
+The module also provides :func:`absorb_continuations`, the program
+normalisation described in Section 5.2: any code sequenced *after* an ``if``
+statement is duplicated into both branches, so that measurement branches can
+be analysed independently to the end of the program.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..circuits.program import IfMeasure, Program, Seq, Skip, seq
+from ..errors import LogicError
+from ..sdp.diamond import DiamondNormBound
+from .derivation import DerivationNode
+from .judgment import Judgment
+
+__all__ = [
+    "skip_rule",
+    "gate_rule",
+    "seq_rule",
+    "weaken_rule",
+    "meas_rule",
+    "absorb_continuations",
+]
+
+
+def skip_rule(delta: float, *, noise_model: str = "") -> DerivationNode:
+    """Skip: an empty program introduces no error."""
+    return DerivationNode(
+        rule="skip",
+        judgment=Judgment(delta=delta, epsilon=0.0, program_label="skip", noise_model=noise_model),
+    )
+
+
+def gate_rule(
+    gate_label: str,
+    qubits: Sequence[int],
+    delta: float,
+    bound: DiamondNormBound | None,
+    *,
+    rho_local: np.ndarray | None = None,
+    truncation_added: float = 0.0,
+    noise_model: str = "",
+) -> DerivationNode:
+    """Gate: the error of a gate is its (ρ̂, δ)-diamond norm under ω."""
+    epsilon = bound.value if bound is not None else 0.0
+    if epsilon < 0:
+        raise LogicError("a gate bound cannot be negative")
+    label = f"{gate_label}({', '.join('q%d' % q for q in qubits)})"
+    return DerivationNode(
+        rule="gate",
+        judgment=Judgment(delta=delta, epsilon=epsilon, program_label=label, noise_model=noise_model),
+        gate_label=gate_label,
+        qubits=tuple(int(q) for q in qubits),
+        rho_local=rho_local,
+        bound=bound,
+        truncation_added=float(truncation_added),
+    )
+
+
+def seq_rule(children: Sequence[DerivationNode], *, noise_model: str = "") -> DerivationNode:
+    """Seq: errors of a sequence add; the predicate is advanced by TN.
+
+    The children must be given in program order; each child's judgment uses
+    the predicate distance *before* that part runs, and its
+    ``truncation_added`` field records the δ contributed by the TN step for
+    that part.  The rule checks that the distances are monotone.
+    """
+    children = list(children)
+    if not children:
+        return skip_rule(0.0, noise_model=noise_model)
+    deltas = [child.judgment.delta for child in children]
+    for before, after in zip(deltas, deltas[1:]):
+        if after + 1e-12 < before:
+            raise LogicError(
+                "Seq rule applied with decreasing predicate distances; "
+                "the TN approximation error can only grow along a sequence"
+            )
+    epsilon = float(sum(child.judgment.epsilon for child in children))
+    label = "; ".join(child.judgment.program_label for child in children[:4])
+    if len(children) > 4:
+        label += "; ..."
+    return DerivationNode(
+        rule="seq",
+        judgment=Judgment(
+            delta=children[0].judgment.delta,
+            epsilon=epsilon,
+            program_label=label,
+            noise_model=noise_model,
+        ),
+        children=children,
+    )
+
+
+def weaken_rule(
+    premise: DerivationNode, *, delta: float | None = None, epsilon: float | None = None
+) -> DerivationNode:
+    """Weaken: strengthen the precondition (smaller δ) / relax the bound (larger ε)."""
+    judgment = premise.judgment.weaken(delta=delta, epsilon=epsilon)
+    return DerivationNode(rule="weaken", judgment=judgment, children=[premise])
+
+
+def meas_rule(
+    qubit: int,
+    delta: float,
+    branches: Sequence[DerivationNode],
+    *,
+    branch_probabilities: Sequence[float] | None = None,
+    noise_model: str = "",
+) -> DerivationNode:
+    """Meas: ``if q = |0> then P0 else P1`` is bounded by ``(1 - d) e + d``.
+
+    ``e`` is the maximum of the branch bounds (the rule in the paper requires
+    one uniform bound for both branches; taking the maximum realises that) and
+    ``d = min(delta, 1)`` caps the trace-norm distance at the largest possible
+    probability discrepancy.
+    """
+    branches = list(branches)
+    if not branches:
+        raise LogicError("Meas rule requires at least one analysed branch")
+    epsilon_branches = max(child.judgment.epsilon for child in branches)
+    capped = min(1.0, max(0.0, delta))
+    epsilon = (1.0 - capped) * epsilon_branches + capped
+    return DerivationNode(
+        rule="meas",
+        judgment=Judgment(
+            delta=delta,
+            epsilon=float(epsilon),
+            program_label=f"if q{qubit} = |0> ...",
+            noise_model=noise_model,
+        ),
+        children=branches,
+        measured_qubit=int(qubit),
+        branch_probabilities=tuple(branch_probabilities) if branch_probabilities else None,
+    )
+
+
+def absorb_continuations(program: Program) -> Program:
+    """Duplicate code sequenced after an ``if`` statement into both branches.
+
+    After this rewrite every ``IfMeasure`` node is the final statement of its
+    enclosing sequence, so measurement branches can be analysed independently
+    (the MPS approximator cannot merge collapsed states back together —
+    Section 5.2).  Branch-free programs are returned structurally unchanged
+    (modulo flattening of nested sequences).
+    """
+    statements = program.statements()
+    return _absorb(statements)
+
+
+def _absorb(statements: list[Program]) -> Program:
+    for index, statement in enumerate(statements):
+        if isinstance(statement, IfMeasure):
+            rest = statements[index + 1 :]
+            continuation = _absorb(rest) if rest else Skip()
+            then_branch = _absorb(statement.then_branch.statements() + ([continuation] if rest else []))
+            else_branch = _absorb(statement.else_branch.statements() + ([continuation] if rest else []))
+            rewritten = IfMeasure(statement.qubit, then_branch, else_branch)
+            return seq(*statements[:index], rewritten)
+        if isinstance(statement, (Seq,)):
+            # statements() already flattens sequences, so this cannot happen,
+            # but keep the defensive branch for directly-constructed trees.
+            return _absorb(
+                statements[:index] + statement.statements() + statements[index + 1 :]
+            )
+    if not statements:
+        return Skip()
+    return seq(*statements)

@@ -1,0 +1,234 @@
+"""Qubit mapping protocols and mapping evaluation (Section 7.2).
+
+A *mapping* assigns each logical qubit of a circuit to a physical qubit of the
+device.  Because device noise is heterogeneous, different mappings execute the
+same circuit with different fidelity; Table 3 shows that Gleipnir's bounds
+rank mappings consistently with measured errors, which is what makes it
+usable for guiding noise-adaptive compilation.
+
+This module provides:
+
+* :func:`map_circuit` — remap a logical circuit onto physical qubits and route
+  any non-adjacent 2-qubit gates through SWAP insertion;
+* :func:`mapping_noise_model` — the calibration-driven noise model restricted
+  to the device (what both the emulator and Gleipnir analyse against);
+* :func:`estimate_mapping_cost` — a cheap additive error estimate used by the
+  greedy mapping protocols;
+* :func:`trivial_mapping`, :func:`best_path_mapping`,
+  :func:`noise_adaptive_mapping` — three mapping protocols of increasing
+  sophistication to compare in the experiments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from ..circuits.circuit import Circuit
+from ..circuits.transforms import decompose_swaps, route_to_coupling
+from ..errors import DeviceError
+from ..noise.calibration import CalibrationData, noise_model_from_calibration
+from ..noise.model import NoiseModel
+from .coupling import CouplingMap
+
+__all__ = [
+    "MappedCircuit",
+    "map_circuit",
+    "mapping_noise_model",
+    "estimate_mapping_cost",
+    "trivial_mapping",
+    "best_path_mapping",
+    "noise_adaptive_mapping",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class MappedCircuit:
+    """A circuit placed and routed on a device."""
+
+    logical_circuit: Circuit
+    physical_circuit: Circuit
+    mapping: tuple[int, ...]
+    coupling: CouplingMap
+
+    @property
+    def num_added_gates(self) -> int:
+        return self.physical_circuit.gate_count() - self.logical_circuit.gate_count()
+
+    def label(self) -> str:
+        return "-".join(str(q) for q in self.mapping)
+
+
+def map_circuit(
+    circuit: Circuit,
+    mapping: Sequence[int],
+    coupling: CouplingMap,
+    *,
+    decompose_routing_swaps: bool = True,
+) -> MappedCircuit:
+    """Place a logical circuit on physical qubits and route it.
+
+    Args:
+        circuit: the logical circuit.
+        mapping: ``mapping[logical] = physical``.
+        coupling: the device coupling map.
+        decompose_routing_swaps: expand inserted SWAPs into three CNOTs, which
+            is how they execute (and get charged for noise) on hardware.
+    """
+    mapping = tuple(int(q) for q in mapping)
+    if len(mapping) < circuit.num_qubits:
+        raise DeviceError(
+            f"mapping places {len(mapping)} qubits but the circuit uses {circuit.num_qubits}"
+        )
+    if len(set(mapping)) != len(mapping):
+        raise DeviceError(f"mapping {mapping} assigns two logical qubits to one physical qubit")
+    for physical in mapping:
+        if physical < 0 or physical >= coupling.num_qubits:
+            raise DeviceError(f"physical qubit {physical} outside the device")
+
+    routed = route_to_coupling(
+        circuit,
+        coupling.edges(),
+        num_physical_qubits=coupling.num_qubits,
+        initial_layout=mapping[: circuit.num_qubits],
+    )
+    if decompose_routing_swaps:
+        routed = decompose_swaps(routed)
+    return MappedCircuit(
+        logical_circuit=circuit,
+        physical_circuit=routed,
+        mapping=mapping,
+        coupling=coupling,
+    )
+
+
+def mapping_noise_model(
+    calibration: CalibrationData, *, kind: str = "depolarizing"
+) -> NoiseModel:
+    """The device noise model used both by the emulator and by Gleipnir."""
+    return noise_model_from_calibration(calibration, kind=kind)
+
+
+def estimate_mapping_cost(
+    circuit: Circuit, mapping: Sequence[int], coupling: CouplingMap, calibration: CalibrationData
+) -> float:
+    """Cheap additive error estimate of running ``circuit`` under ``mapping``.
+
+    Sums calibrated error rates over the gates of the routed circuit plus the
+    readout errors of the qubits that carry data.  This is the kind of
+    heuristic a noise-adaptive compiler uses internally; Gleipnir provides the
+    verified counterpart.
+    """
+    mapped = map_circuit(circuit, mapping, coupling)
+    total = 0.0
+    for op in mapped.physical_circuit.operations():
+        if op.gate.num_qubits == 1:
+            total += calibration.single_qubit_error.get(op.qubits[0], 0.0)
+        else:
+            a, b = op.qubits
+            if calibration.has_edge(a, b):
+                total += calibration.edge_error(a, b)
+            else:
+                total += calibration.average_two_qubit_error()
+    for physical in mapping[: circuit.num_qubits]:
+        total += calibration.readout_error.get(physical, 0.0)
+    return total
+
+
+def trivial_mapping(circuit: Circuit, coupling: CouplingMap) -> tuple[int, ...]:
+    """The identity mapping (logical i -> physical i)."""
+    if circuit.num_qubits > coupling.num_qubits:
+        raise DeviceError("the circuit does not fit on the device")
+    return tuple(range(circuit.num_qubits))
+
+
+def best_path_mapping(
+    circuit: Circuit,
+    coupling: CouplingMap,
+    calibration: CalibrationData,
+    *,
+    max_candidates: int = 2000,
+) -> tuple[int, ...]:
+    """Choose the best *path* placement for a chain-shaped circuit.
+
+    Enumerates simple paths of the required length in the coupling graph and
+    picks the one minimising :func:`estimate_mapping_cost`.  This matches the
+    structure of GHZ ladders and Ising chains, where the interaction graph is
+    a path.
+    """
+    length = circuit.num_qubits
+    candidates = coupling.simple_paths(length)
+    if not candidates:
+        raise DeviceError(f"the device has no simple path of {length} qubits")
+    if len(candidates) > max_candidates:
+        candidates = candidates[:max_candidates]
+    best = min(candidates, key=lambda path: estimate_mapping_cost(circuit, path, coupling, calibration))
+    return tuple(best)
+
+
+def noise_adaptive_mapping(
+    circuit: Circuit,
+    coupling: CouplingMap,
+    calibration: CalibrationData,
+) -> tuple[int, ...]:
+    """A greedy noise-adaptive placement for general circuits.
+
+    Logical qubits are placed one at a time in decreasing order of how many
+    2-qubit gates they participate in; each is assigned the free physical
+    qubit that minimises the estimated cost of the interactions placed so far
+    (calibrated edge error times interaction count, plus the qubit's own
+    1-qubit and readout error).
+    """
+    interactions: dict[tuple[int, int], int] = {}
+    weight: dict[int, int] = {q: 0 for q in range(circuit.num_qubits)}
+    for op in circuit.operations():
+        if op.gate.num_qubits == 2:
+            key = tuple(sorted(op.qubits))
+            interactions[key] = interactions.get(key, 0) + 1
+            for q in op.qubits:
+                weight[q] += 1
+
+    order = sorted(range(circuit.num_qubits), key=lambda q: -weight[q])
+    placement: dict[int, int] = {}
+    free = set(range(coupling.num_qubits))
+
+    def candidate_cost(logical: int, physical: int) -> float:
+        cost = calibration.single_qubit_error.get(physical, 0.0)
+        cost += calibration.readout_error.get(physical, 0.0)
+        # Look-ahead term: a placement whose free neighbourhood cannot host the
+        # qubit's not-yet-placed partners will force routing later.  Charge a
+        # small fraction of a 2-qubit error per missing neighbour so that, all
+        # else equal, well-connected placements win.
+        partners = {
+            (b if a == logical else a)
+            for (a, b) in interactions
+            if logical in (a, b)
+        }
+        unplaced_partners = len([p for p in partners if p not in placement])
+        free_neighbors = len([n for n in coupling.neighbors(physical) if n in free])
+        deficit = max(0, unplaced_partners - free_neighbors)
+        cost += 0.25 * calibration.average_two_qubit_error() * deficit
+        for (a, b), count in interactions.items():
+            other = b if a == logical else a if b == logical else None
+            if other is None or other not in placement:
+                continue
+            other_physical = placement[other]
+            if coupling.has_edge(physical, other_physical):
+                edge_cost = (
+                    calibration.edge_error(physical, other_physical)
+                    if calibration.has_edge(physical, other_physical)
+                    else calibration.average_two_qubit_error()
+                )
+            else:
+                # Routing penalty: distance-1 extra SWAPs, three CNOTs each.
+                distance = coupling.distance(physical, other_physical)
+                edge_cost = 3 * (distance - 1) * calibration.average_two_qubit_error()
+                edge_cost += calibration.average_two_qubit_error()
+            cost += count * edge_cost
+        return cost
+
+    for logical in order:
+        best_physical = min(free, key=lambda phys: candidate_cost(logical, phys))
+        placement[logical] = best_physical
+        free.remove(best_physical)
+    return tuple(placement[q] for q in range(circuit.num_qubits))

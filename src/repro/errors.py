@@ -1,0 +1,70 @@
+"""Exception hierarchy used across the Gleipnir reproduction.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed quantum programs or circuit operations.
+
+    Examples: applying a 2-qubit gate to a single qubit, referencing a qubit
+    outside the program's register, or parsing an invalid circuit text.
+    """
+
+
+class GateError(CircuitError):
+    """Raised when a gate definition is inconsistent (wrong shape, not unitary)."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulator is asked to do something it cannot represent."""
+
+
+class ResourceLimitExceeded(SimulationError):
+    """Raised when a computation would exceed the configured resource budget.
+
+    This mirrors the 24-hour timeout used in the paper's evaluation for the
+    full-simulation baseline: instead of burning wall-clock time, the dense
+    simulators refuse to allocate exponential state beyond the configured
+    qubit budget (see :class:`repro.config.ResourceGuard`).
+    """
+
+
+class NoiseModelError(ReproError):
+    """Raised for inconsistent noise model definitions (non-CPTP channels, ...)."""
+
+
+class MPSError(ReproError):
+    """Raised for invalid Matrix Product State operations."""
+
+
+class SDPError(ReproError):
+    """Raised when an SDP cannot be constructed or certified."""
+
+
+class CertificationError(SDPError):
+    """Raised when a dual certificate cannot be repaired to feasibility."""
+
+
+class LogicError(ReproError):
+    """Raised when an inference rule of the quantum error logic is misapplied."""
+
+
+class DerivationCheckError(LogicError):
+    """Raised when re-validation of a derivation tree finds an unsound step."""
+
+
+class DeviceError(ReproError):
+    """Raised for invalid device descriptions, mappings, or calibration data."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness for invalid configurations."""

@@ -1,0 +1,14 @@
+"""Experiment harnesses regenerating every table and figure of the evaluation."""
+
+from .table2 import Table2Result, Table2Row, run_table2, run_table2_row
+from .figure14 import DEFAULT_WIDTHS, Figure14Point, Figure14Result, run_figure14
+from .table3 import (
+    Table3Result,
+    Table3Row,
+    analyze_mapped_circuit,
+    default_mapping_experiments,
+    run_table3,
+)
+from .report import format_table, render_figure14, render_table2, render_table3
+
+__all__ = [name for name in dir() if not name.startswith("_")]

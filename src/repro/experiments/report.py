@@ -1,0 +1,130 @@
+"""Plain-text / Markdown rendering of experiment results.
+
+The experiment harnesses return structured results; this module turns them
+into the same table shapes the paper prints, for the CLI runner, the
+examples, and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .figure14 import Figure14Result
+from .table2 import Table2Result
+from .table3 import Table3Result
+
+__all__ = [
+    "format_table",
+    "render_table2",
+    "render_figure14",
+    "render_table3",
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an ASCII table with aligned columns."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)] if rows else [[h] for h in headers]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
+
+    lines = [render_row(headers), "-+-".join("-" * width for width in widths)]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def _scaled(value: float | None, factor: float = 1e4) -> str:
+    """Format a bound in units of 1e-4, like the paper's Table 2."""
+    if value is None:
+        return "timed out"
+    return f"{value * factor:.2f}"
+
+
+def render_table2(result: Table2Result, *, markdown: bool = False) -> str:
+    """Render Table 2 (bounds in units of 1e-4, runtimes in seconds)."""
+    headers = [
+        "Benchmark",
+        "Qubits",
+        "Gates",
+        "Gleipnir bound (x1e-4)",
+        "Time (s)",
+        "LQR full-sim (x1e-4)",
+        "LQR time (s)",
+        "Worst case (x1e-4)",
+    ]
+    rows = []
+    for row in result.rows:
+        if row.lqr_timed_out:
+            lqr = "timed out"
+        elif row.lqr_bound is None:
+            lqr = "-"
+        else:
+            lqr = _scaled(row.lqr_bound)
+        lqr_time = "-" if row.lqr_seconds is None or row.lqr_timed_out else f"{row.lqr_seconds:.1f}"
+        rows.append(
+            [
+                row.benchmark,
+                str(row.num_qubits),
+                str(row.gate_count),
+                _scaled(row.gleipnir_bound),
+                f"{row.gleipnir_seconds:.1f}",
+                lqr,
+                lqr_time,
+                _scaled(row.worst_case_bound),
+            ]
+        )
+    title = (
+        f"Table 2 (scale={result.scale}, MPS width={result.mps_width}, "
+        f"bit-flip p={result.bit_flip_probability:g})"
+    )
+    body = _markdown_table(headers, rows) if markdown else format_table(headers, rows)
+    return f"{title}\n{body}"
+
+
+def render_figure14(result: Figure14Result, *, markdown: bool = False) -> str:
+    """Render the Figure 14 sweep as a table of (width, bound, runtime)."""
+    headers = ["MPS size", "Error bound (x1e-4)", "Runtime (s)", "Final delta"]
+    rows = [
+        [
+            str(point.mps_width),
+            _scaled(point.error_bound),
+            f"{point.runtime_seconds:.1f}",
+            f"{point.final_delta:.3e}",
+        ]
+        for point in result.points
+    ]
+    title = f"Figure 14 sweep on {result.benchmark} (scale={result.scale})"
+    body = _markdown_table(headers, rows) if markdown else format_table(headers, rows)
+    return f"{title}\n{body}"
+
+
+def render_table3(result: Table3Result, *, markdown: bool = False) -> str:
+    """Render Table 3 (bounds and measured errors as plain fractions)."""
+    headers = ["Circuit", "Mapping", "Gleipnir bound", "Measured error", "Bound >= measured"]
+    rows = [
+        [
+            row.circuit,
+            row.mapping_label,
+            f"{row.gleipnir_bound:.3f}",
+            f"{row.measured_error:.3f}",
+            "yes" if row.bound_dominates else "NO",
+        ]
+        for row in result.rows
+    ]
+    circuits = sorted({row.circuit for row in result.rows})
+    consistency = ", ".join(
+        f"{name}: {'consistent' if result.ranking_consistent(name) else 'INCONSISTENT'}"
+        for name in circuits
+    )
+    title = (
+        f"Table 3 (emulated device, calibration={result.calibration_name}, "
+        f"shots={result.shots}) — mapping ranking {consistency}"
+    )
+    body = _markdown_table(headers, rows) if markdown else format_table(headers, rows)
+    return f"{title}\n{body}"
+
+
+def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |", "|" + "|".join(["---"] * len(headers)) + "|"]
+    lines.extend("| " + " | ".join(str(cell) for cell in row) + " |" for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Spectral and singular-value helpers used across the library.
+
+These small wrappers centralise the numerically delicate pieces (clipping
+negative eigenvalues, symmetrising inputs) so the MPS truncation code and the
+SDP certificate code behave consistently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "hermitian_eig",
+    "positive_part",
+    "negative_part",
+    "positive_negative_split",
+    "psd_projection",
+    "nearest_density_matrix",
+    "truncated_svd",
+    "matrix_sqrt",
+    "purification",
+    "min_eigenvalue",
+]
+
+
+def _symmetrise(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=np.complex128)
+    return (matrix + matrix.conj().T) / 2
+
+
+def hermitian_eig(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Eigenvalues and eigenvectors of (the Hermitian part of) a matrix."""
+    return np.linalg.eigh(_symmetrise(matrix))
+
+
+def min_eigenvalue(matrix: np.ndarray) -> float:
+    """Smallest eigenvalue of the Hermitian part of a matrix."""
+    return float(np.linalg.eigvalsh(_symmetrise(matrix)).min())
+
+
+def positive_part(matrix: np.ndarray) -> np.ndarray:
+    """Positive part ``A_+`` of a Hermitian matrix (``A = A_+ - A_-``)."""
+    vals, vecs = hermitian_eig(matrix)
+    vals = np.clip(vals, 0.0, None)
+    return (vecs * vals) @ vecs.conj().T
+
+
+def negative_part(matrix: np.ndarray) -> np.ndarray:
+    """Negative part ``A_-`` of a Hermitian matrix (PSD, ``A = A_+ - A_-``)."""
+    vals, vecs = hermitian_eig(matrix)
+    vals = np.clip(-vals, 0.0, None)
+    return (vecs * vals) @ vecs.conj().T
+
+
+def positive_negative_split(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Both parts of the Jordan decomposition of a Hermitian matrix."""
+    vals, vecs = hermitian_eig(matrix)
+    pos = (vecs * np.clip(vals, 0.0, None)) @ vecs.conj().T
+    neg = (vecs * np.clip(-vals, 0.0, None)) @ vecs.conj().T
+    return pos, neg
+
+
+def psd_projection(matrix: np.ndarray) -> np.ndarray:
+    """Projection of a Hermitian matrix onto the PSD cone (same as A_+)."""
+    return positive_part(matrix)
+
+
+def nearest_density_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Project a Hermitian matrix onto the set of density matrices.
+
+    Uses the standard simplex projection of the eigenvalue vector, which gives
+    the closest density matrix in Frobenius norm.
+    """
+    vals, vecs = hermitian_eig(matrix)
+    # Project eigenvalues onto the probability simplex.
+    descending = np.sort(vals)[::-1]
+    cumulative = np.cumsum(descending)
+    indices = np.arange(1, len(vals) + 1)
+    mask = descending - (cumulative - 1.0) / indices > 0
+    k = int(np.nonzero(mask)[0].max()) + 1
+    tau = (cumulative[k - 1] - 1.0) / k
+    projected = np.clip(vals - tau, 0.0, None)
+    return (vecs * projected) @ vecs.conj().T
+
+
+def truncated_svd(
+    matrix: np.ndarray, max_rank: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float, float]:
+    """SVD with truncation to ``max_rank`` singular values.
+
+    Returns ``(U, s, Vh, discarded_weight, total_weight)`` where the weights
+    are sums of squared singular values.  The truncation error accounting of
+    the MPS approximator (Section 5.2) derives the trace-norm error from the
+    discarded/total weights.
+    """
+    matrix = np.asarray(matrix, dtype=np.complex128)
+    u, s, vh = np.linalg.svd(matrix, full_matrices=False)
+    total_weight = float(np.sum(s**2))
+    max_rank = max(1, int(max_rank))
+    kept = min(max_rank, s.size)
+    discarded_weight = float(np.sum(s[kept:] ** 2))
+    return u[:, :kept], s[:kept], vh[:kept, :], discarded_weight, total_weight
+
+
+def matrix_sqrt(matrix: np.ndarray) -> np.ndarray:
+    """Principal square root of a PSD matrix (eigenvalues clipped at zero)."""
+    vals, vecs = hermitian_eig(matrix)
+    vals = np.clip(vals, 0.0, None)
+    return (vecs * np.sqrt(vals)) @ vecs.conj().T
+
+
+def purification(rho: np.ndarray) -> np.ndarray:
+    """A purification ``|psi>`` of ``rho`` on a doubled system.
+
+    The output lives on ``dim**2`` dimensions with the original system first,
+    i.e. ``Tr_2 |psi><psi| = rho``.  Used by the brute-force diamond norm
+    verifier (the maximisation over inputs may always take a purified input).
+    """
+    rho = _symmetrise(rho)
+    vals, vecs = np.linalg.eigh(rho)
+    vals = np.clip(vals, 0.0, None)
+    dim = rho.shape[0]
+    psi = np.zeros(dim * dim, dtype=np.complex128)
+    for k in range(dim):
+        if vals[k] <= 0:
+            continue
+        psi += np.sqrt(vals[k]) * np.kron(vecs[:, k], _unit(dim, k))
+    return psi
+
+
+def _unit(dim: int, index: int) -> np.ndarray:
+    vec = np.zeros(dim, dtype=np.complex128)
+    vec[index] = 1.0
+    return vec

@@ -1,0 +1,22 @@
+"""Matrix Product State tensor networks and the TN(rho0, P) approximator."""
+
+from .mps import MPS
+from .truncation import TruncationInfo, split_theta
+from .approximator import (
+    ApproximationBranch,
+    ApproximationResult,
+    LocalPredicate,
+    MPSApproximator,
+    approximate_program,
+)
+
+__all__ = [
+    "MPS",
+    "TruncationInfo",
+    "split_theta",
+    "ApproximationBranch",
+    "ApproximationResult",
+    "LocalPredicate",
+    "MPSApproximator",
+    "approximate_program",
+]

@@ -1,0 +1,292 @@
+"""The tensor-network state approximator ``TN(rho0, P) = (rho_hat, delta)``.
+
+This module drives the MPS machinery over whole programs:
+
+* :class:`MPSApproximator` is the stateful, gate-by-gate interface used by
+  the quantum error logic (Section 4): before bounding a gate's error it asks
+  for the local predicate ``(rho', delta)``; after bounding it advances the
+  MPS through the (ideal) gate and accumulates the truncation error;
+* :func:`approximate_program` runs a whole program at once, returning the
+  approximated output state(s) and the sound approximation bound δ of
+  Theorem 5.1 — including measurement branches, which fork the MPS as
+  described in Section 5.2 ("Supporting branches").
+
+The approximator always evolves the *ideal* program: gate noise never enters
+here.  Noise is handled exclusively by the (ρ̂, δ)-diamond norm of the gates
+(Section 6); δ only accounts for the MPS truncation error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.program import GateOp, IfMeasure, Program, Seq, Skip
+from ..config import DEFAULT_MPS_WIDTH
+from ..errors import MPSError
+from .mps import MPS
+from .truncation import TruncationInfo
+
+__all__ = [
+    "LocalPredicate",
+    "MPSApproximator",
+    "ApproximationBranch",
+    "ApproximationResult",
+    "approximate_program",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class LocalPredicate:
+    """The ``(rho', delta)`` pair used to constrain a gate's diamond norm.
+
+    ``rho_local`` is the reduced density matrix of the approximate state on
+    the gate's qubits (in gate operand order); ``delta`` is the accumulated
+    trace-norm distance bound between the approximate global state and the
+    ideal global state at this point of the program.
+    """
+
+    rho_local: np.ndarray
+    delta: float
+    qubits: tuple[int, ...]
+
+
+class MPSApproximator:
+    """Stateful MPS evolution with sound truncation-error accounting."""
+
+    def __init__(self, mps: MPS, *, delta: float = 0.0):
+        self._mps = mps
+        self._delta = float(delta)
+        self._truncations: list[TruncationInfo] = []
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_product_state(
+        cls, bits: str | Sequence[int], *, width: int = DEFAULT_MPS_WIDTH
+    ) -> "MPSApproximator":
+        return cls(MPS.from_product_state(bits, max_bond=width))
+
+    @classmethod
+    def zero_state(cls, num_qubits: int, *, width: int = DEFAULT_MPS_WIDTH) -> "MPSApproximator":
+        return cls(MPS.zero_state(num_qubits, max_bond=width))
+
+    @classmethod
+    def from_statevector(
+        cls, statevector: np.ndarray, *, width: int = DEFAULT_MPS_WIDTH
+    ) -> "MPSApproximator":
+        mps = MPS.from_statevector(statevector, max_bond=width)
+        # Building the MPS from a dense vector may itself truncate; that error
+        # must be carried into delta to stay sound.
+        exact = MPS.from_statevector(statevector, max_bond=None)
+        initial_delta = exact.overlap_error(mps) if mps.max_bond is not None else 0.0
+        return cls(mps, delta=initial_delta)
+
+    # -- accessors -------------------------------------------------------------
+    @property
+    def mps(self) -> MPS:
+        return self._mps
+
+    @property
+    def delta(self) -> float:
+        """Accumulated approximation bound ``delta`` (trace-norm convention)."""
+        return min(2.0, self._delta)
+
+    @property
+    def width(self) -> int | None:
+        return self._mps.max_bond
+
+    @property
+    def num_qubits(self) -> int:
+        return self._mps.num_qubits
+
+    @property
+    def truncation_history(self) -> list[TruncationInfo]:
+        return list(self._truncations)
+
+    def copy(self) -> "MPSApproximator":
+        clone = MPSApproximator(self._mps.copy(), delta=self._delta)
+        clone._truncations = list(self._truncations)
+        return clone
+
+    def weaken_to(self, delta: float) -> "MPSApproximator":
+        """Raise the accumulated distance bound (never lowers it); returns self.
+
+        Corresponds to using the Weaken rule in reverse: declaring that the
+        approximation is only known to be within ``delta`` of the ideal state.
+        Used for measurement branches the approximation deems unreachable,
+        where ``delta = 2`` makes the predicate vacuous.
+        """
+        if delta < self._delta:
+            raise MPSError("weaken_to cannot decrease the approximation bound")
+        self._delta = float(delta)
+        return self
+
+    # -- predicates --------------------------------------------------------------
+    def local_predicate(self, qubits: Sequence[int]) -> LocalPredicate:
+        """The ``(rho', delta)`` predicate for a gate acting on ``qubits``."""
+        qubits = tuple(int(q) for q in qubits)
+        rho = self._mps.reduced_density_matrix(qubits)
+        return LocalPredicate(rho_local=rho, delta=self.delta, qubits=qubits)
+
+    # -- evolution ------------------------------------------------------------------
+    def apply_gate_op(self, op: GateOp) -> float:
+        """Advance the MPS through one ideal gate; returns the added truncation."""
+        return self.apply_gate(op.gate.matrix, op.qubits)
+
+    def apply_gate(self, matrix: np.ndarray, qubits: Sequence[int]) -> float:
+        """Apply a gate matrix to the MPS and accumulate its truncation error."""
+        records = self._mps.apply_gate(np.asarray(matrix, dtype=np.complex128), list(qubits))
+        added = 0.0
+        for record in records:
+            self._truncations.append(record)
+            added += record.trace_norm_error
+        self._delta += added
+        return added
+
+    def apply_circuit(self, circuit: Circuit | Program) -> float:
+        """Apply every gate of a branch-free circuit/program; returns added delta."""
+        program = circuit.to_program() if isinstance(circuit, Circuit) else circuit
+        added = 0.0
+        for op in program.operations():
+            added += self.apply_gate_op(op)
+        return added
+
+    # -- measurement branching ---------------------------------------------------------
+    def branch_on_measurement(self, qubit: int) -> list[tuple[int, float, "MPSApproximator"]]:
+        """Fork the approximator on a computational-basis measurement of ``qubit``.
+
+        Returns a list of ``(outcome, probability, approximator)`` tuples for
+        the outcomes with non-negligible probability.  Each branch keeps the
+        parent's accumulated δ (projections do not increase trace distance,
+        see the Meas soundness argument in Appendix A).
+        """
+        branches: list[tuple[int, float, MPSApproximator]] = []
+        for outcome in (0, 1):
+            probability = self._mps.outcome_probability(qubit, outcome)
+            if probability <= 1e-12:
+                continue
+            child = self.copy()
+            child._mps.project(qubit, outcome)
+            branches.append((outcome, probability, child))
+        if not branches:
+            raise MPSError(f"measurement of qubit {qubit} has no feasible outcome")
+        return branches
+
+
+@dataclasses.dataclass(frozen=True)
+class ApproximationBranch:
+    """One measurement branch of an approximated program run."""
+
+    outcomes: tuple[tuple[int, int], ...]
+    probability: float
+    approximator: MPSApproximator
+
+    @property
+    def delta(self) -> float:
+        return self.approximator.delta
+
+
+@dataclasses.dataclass(frozen=True)
+class ApproximationResult:
+    """Output of ``TN(rho0, P)``: approximate state(s) and sound bound δ.
+
+    For branch-free programs there is exactly one branch.  Following the
+    paper, the overall approximation bound is the sum of the bounds incurred
+    on all branches.
+    """
+
+    branches: tuple[ApproximationBranch, ...]
+
+    @property
+    def delta(self) -> float:
+        return min(2.0, sum(branch.delta for branch in self.branches))
+
+    @property
+    def approximator(self) -> MPSApproximator:
+        if len(self.branches) != 1:
+            raise MPSError(
+                "ApproximationResult.approximator is only defined for branch-free runs"
+            )
+        return self.branches[0].approximator
+
+    @property
+    def mps(self) -> MPS:
+        return self.approximator.mps
+
+    def num_branches(self) -> int:
+        return len(self.branches)
+
+
+def _run(
+    program: Program,
+    approximator: MPSApproximator,
+    outcomes: tuple[tuple[int, int], ...],
+    probability: float,
+) -> list[ApproximationBranch]:
+    if isinstance(program, Skip):
+        return [ApproximationBranch(outcomes, probability, approximator)]
+    if isinstance(program, GateOp):
+        approximator.apply_gate_op(program)
+        return [ApproximationBranch(outcomes, probability, approximator)]
+    if isinstance(program, Seq):
+        branches = [ApproximationBranch(outcomes, probability, approximator)]
+        for part in program.parts:
+            next_branches: list[ApproximationBranch] = []
+            for branch in branches:
+                next_branches.extend(
+                    _run(part, branch.approximator, branch.outcomes, branch.probability)
+                )
+            branches = next_branches
+        return branches
+    if isinstance(program, IfMeasure):
+        results: list[ApproximationBranch] = []
+        for outcome, prob, child in approximator.branch_on_measurement(program.qubit):
+            subprogram = program.then_branch if outcome == 0 else program.else_branch
+            results.extend(
+                _run(
+                    subprogram,
+                    child,
+                    outcomes + ((program.qubit, outcome),),
+                    probability * prob,
+                )
+            )
+        return results
+    raise MPSError(f"unknown program node {type(program).__name__}")
+
+
+def approximate_program(
+    program: Program | Circuit,
+    *,
+    initial_bits: str | Sequence[int] | None = None,
+    num_qubits: int | None = None,
+    width: int = DEFAULT_MPS_WIDTH,
+) -> ApproximationResult:
+    """Run ``TN(rho0, P)`` over a whole program.
+
+    Args:
+        program: the program (or circuit) to approximate.
+        initial_bits: computational-basis input state (defaults to all zeros).
+        num_qubits: register size (inferred if omitted).
+        width: MPS bond dimension ``w``.
+
+    Returns:
+        An :class:`ApproximationResult` whose ``delta`` soundly bounds the
+        trace-norm distance between the approximation and the ideal output
+        (per branch; summed over branches as in the paper).
+    """
+    ast = program.to_program() if isinstance(program, Circuit) else program
+    if num_qubits is None:
+        num_qubits = program.num_qubits if isinstance(program, Circuit) else ast.num_qubits
+    if num_qubits == 0:
+        raise MPSError("cannot approximate a program with no qubits")
+    if initial_bits is None:
+        initial_bits = [0] * num_qubits
+    bits = [int(b) for b in initial_bits]
+    if len(bits) != num_qubits:
+        raise MPSError(f"initial state has {len(bits)} bits for {num_qubits} qubits")
+    approximator = MPSApproximator.from_product_state(bits, width=width)
+    branches = _run(ast, approximator, (), 1.0)
+    return ApproximationResult(tuple(branches))

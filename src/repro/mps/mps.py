@@ -1,0 +1,455 @@
+"""Matrix Product State representation of pure quantum states (Section 5).
+
+An :class:`MPS` stores an n-qubit pure state as a chain of rank-3 tensors
+``A_i`` with shape ``(chi_{i-1}, 2, chi_i)`` and ``chi_0 = chi_n = 1``.  The
+class maintains a *mixed canonical form*: every tensor to the left of the
+orthogonality ``center`` is left-isometric and every tensor to its right is
+right-isometric.  This makes the local SVD truncation performed when applying
+2-qubit gates *globally optimal*, so the per-step truncation errors recorded
+by :mod:`repro.mps.truncation` are exactly the trace-norm distances the
+paper's error accounting sums up.
+
+Supported operations:
+
+* exact single-qubit gate application (never truncates);
+* two-site (adjacent) gate application with bond truncation;
+* arbitrary-distance 2-qubit gates via an internal swap network
+  (swap in, apply, swap back — every swap's truncation is accounted);
+* inner products, norms, amplitudes, and conversion to a dense state vector;
+* reduced density matrices on one or two (possibly non-adjacent) qubits,
+  which feed the (ρ̂, δ)-diamond norm SDP;
+* measurement probabilities and projective collapse, for branch support.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import MPSError
+from ..linalg.operators import SWAP
+from .truncation import TruncationInfo, split_theta
+
+__all__ = ["MPS"]
+
+
+class MPS:
+    """A matrix product state over qubits (physical dimension 2)."""
+
+    def __init__(self, tensors: Sequence[np.ndarray], *, center: int = 0, max_bond: int | None = None):
+        if not tensors:
+            raise MPSError("an MPS needs at least one site")
+        self._tensors = [np.asarray(t, dtype=np.complex128) for t in tensors]
+        self._validate_shapes()
+        self._center = int(center)
+        if not 0 <= self._center < len(self._tensors):
+            raise MPSError(f"center {center} outside 0..{len(self._tensors) - 1}")
+        self.max_bond = int(max_bond) if max_bond is not None else None
+
+    # ------------------------------------------------------------------ setup
+    def _validate_shapes(self) -> None:
+        for index, tensor in enumerate(self._tensors):
+            if tensor.ndim != 3 or tensor.shape[1] != 2:
+                raise MPSError(
+                    f"site {index} tensor has shape {tensor.shape}, expected (chi, 2, chi')"
+                )
+        if self._tensors[0].shape[0] != 1 or self._tensors[-1].shape[2] != 1:
+            raise MPSError("boundary bond dimensions must be 1")
+        for index in range(len(self._tensors) - 1):
+            if self._tensors[index].shape[2] != self._tensors[index + 1].shape[0]:
+                raise MPSError(
+                    f"bond mismatch between sites {index} and {index + 1}: "
+                    f"{self._tensors[index].shape[2]} vs {self._tensors[index + 1].shape[0]}"
+                )
+
+    @classmethod
+    def from_product_state(cls, bits: str | Sequence[int], *, max_bond: int | None = None) -> "MPS":
+        """MPS of a computational-basis product state ``|bits>``."""
+        values = [int(b) for b in bits]
+        if not values:
+            raise MPSError("product state needs at least one qubit")
+        if any(v not in (0, 1) for v in values):
+            raise MPSError(f"bits must be 0/1, got {bits!r}")
+        tensors = []
+        for value in values:
+            tensor = np.zeros((1, 2, 1), dtype=np.complex128)
+            tensor[0, value, 0] = 1.0
+            tensors.append(tensor)
+        return cls(tensors, center=0, max_bond=max_bond)
+
+    @classmethod
+    def zero_state(cls, num_qubits: int, *, max_bond: int | None = None) -> "MPS":
+        """The all-zeros product state on ``num_qubits`` qubits."""
+        return cls.from_product_state([0] * num_qubits, max_bond=max_bond)
+
+    @classmethod
+    def from_statevector(
+        cls, statevector: np.ndarray, *, max_bond: int | None = None
+    ) -> "MPS":
+        """Exact (or truncated) MPS of a dense state vector.
+
+        Intended for tests and small inputs; the cost is exponential in the
+        number of qubits because the dense vector already is.
+        """
+        statevector = np.asarray(statevector, dtype=np.complex128).reshape(-1)
+        dim = statevector.size
+        n = int(round(np.log2(dim)))
+        if 2**n != dim:
+            raise MPSError(f"state vector length {dim} is not a power of two")
+        tensors: list[np.ndarray] = []
+        remainder = statevector.reshape(1, -1)
+        chi = 1
+        for site in range(n - 1):
+            matrix = remainder.reshape(chi * 2, -1)
+            u, s, vh = np.linalg.svd(matrix, full_matrices=False)
+            keep = s.size if max_bond is None else min(s.size, max_bond)
+            keep = max(1, int(np.count_nonzero(s[:keep] > 1e-15)) or 1)
+            tensors.append(u[:, :keep].reshape(chi, 2, keep))
+            remainder = (s[:keep, None] * vh[:keep, :])
+            chi = keep
+        tensors.append(remainder.reshape(chi, 2, 1))
+        mps = cls(tensors, center=n - 1, max_bond=max_bond)
+        return mps
+
+    # ------------------------------------------------------------- properties
+    @property
+    def num_sites(self) -> int:
+        return len(self._tensors)
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self._tensors)
+
+    @property
+    def center(self) -> int:
+        return self._center
+
+    @property
+    def tensors(self) -> list[np.ndarray]:
+        """The site tensors (a shallow copy of the list; do not mutate)."""
+        return list(self._tensors)
+
+    def bond_dimensions(self) -> list[int]:
+        """Internal bond dimensions (length ``num_sites - 1``)."""
+        return [self._tensors[i].shape[2] for i in range(self.num_sites - 1)]
+
+    def max_bond_dimension(self) -> int:
+        dims = self.bond_dimensions()
+        return max(dims) if dims else 1
+
+    def copy(self) -> "MPS":
+        clone = MPS([t.copy() for t in self._tensors], center=self._center, max_bond=self.max_bond)
+        return clone
+
+    # ------------------------------------------------------------ contraction
+    def norm_squared(self) -> float:
+        env = np.ones((1, 1), dtype=np.complex128)
+        for tensor in self._tensors:
+            env = np.einsum("ab,asc,bsd->cd", env, tensor, tensor.conj(), optimize=True)
+        return float(env[0, 0].real)
+
+    def norm(self) -> float:
+        return float(np.sqrt(max(0.0, self.norm_squared())))
+
+    def normalize(self) -> "MPS":
+        """Scale the state to unit norm (in place); returns self."""
+        norm = self.norm()
+        if norm <= 0:
+            raise MPSError("cannot normalise a zero state")
+        self._tensors[self._center] = self._tensors[self._center] / norm
+        return self
+
+    def inner(self, other: "MPS") -> complex:
+        """Inner product ``<self|other>`` (Figure 12/13 contraction)."""
+        if other.num_sites != self.num_sites:
+            raise MPSError("inner product requires equal numbers of sites")
+        env = np.ones((1, 1), dtype=np.complex128)
+        for ket, bra in zip(other._tensors, self._tensors):
+            env = np.einsum("ab,asc,bsd->cd", env, ket, bra.conj(), optimize=True)
+        return complex(env[0, 0])
+
+    def overlap_error(self, other: "MPS") -> float:
+        """Trace-norm distance ``|| |self><self| - |other><other| ||_1``.
+
+        Both states are normalised before comparison (the formula
+        ``2 sqrt(1 - |<a|b>|^2)`` assumes unit vectors).
+        """
+        na, nb = self.norm(), other.norm()
+        if na <= 0 or nb <= 0:
+            raise MPSError("cannot compare zero states")
+        overlap = abs(self.inner(other)) / (na * nb)
+        overlap = min(1.0, overlap)
+        return 2.0 * float(np.sqrt(max(0.0, 1.0 - overlap**2)))
+
+    def to_statevector(self) -> np.ndarray:
+        """Dense state vector (exponential; intended for tests/small systems)."""
+        if self.num_sites > 26:
+            raise MPSError("refusing to densify an MPS with more than 26 qubits")
+        psi = np.ones((1, 1), dtype=np.complex128)
+        for tensor in self._tensors:
+            psi = np.einsum("xa,asb->xsb", psi, tensor, optimize=True)
+            psi = psi.reshape(-1, tensor.shape[2])
+        return psi.reshape(-1)
+
+    def amplitude(self, bits: str | Sequence[int]) -> complex:
+        """Amplitude ``<bits|psi>``."""
+        values = [int(b) for b in bits]
+        if len(values) != self.num_sites:
+            raise MPSError(f"expected {self.num_sites} bits, got {len(values)}")
+        env = np.ones((1,), dtype=np.complex128)
+        for value, tensor in zip(values, self._tensors):
+            env = env @ tensor[:, value, :]
+        return complex(env[0])
+
+    # --------------------------------------------------------- canonical form
+    def _qr_step_right(self, site: int) -> None:
+        """Make site ``site`` left-isometric, pushing weight to ``site + 1``."""
+        tensor = self._tensors[site]
+        chi_left, _, chi_right = tensor.shape
+        matrix = tensor.reshape(chi_left * 2, chi_right)
+        q, r = np.linalg.qr(matrix)
+        k = q.shape[1]
+        self._tensors[site] = q.reshape(chi_left, 2, k)
+        self._tensors[site + 1] = np.einsum(
+            "kr,rsb->ksb", r, self._tensors[site + 1], optimize=True
+        )
+
+    def _qr_step_left(self, site: int) -> None:
+        """Make site ``site`` right-isometric, pushing weight to ``site - 1``."""
+        tensor = self._tensors[site]
+        chi_left, _, chi_right = tensor.shape
+        matrix = tensor.reshape(chi_left, 2 * chi_right)
+        # LQ decomposition via QR of the conjugate transpose.
+        q, r = np.linalg.qr(matrix.conj().T)
+        k = q.shape[1]
+        self._tensors[site] = q.conj().T.reshape(k, 2, chi_right)
+        self._tensors[site - 1] = np.einsum(
+            "lsa,ak->lsk", self._tensors[site - 1], r.conj().T, optimize=True
+        )
+
+    def canonicalize(self, center: int = 0) -> "MPS":
+        """Bring the MPS into mixed canonical form around ``center`` (in place)."""
+        if not 0 <= center < self.num_sites:
+            raise MPSError(f"center {center} outside 0..{self.num_sites - 1}")
+        for site in range(0, center):
+            self._qr_step_right(site)
+        for site in range(self.num_sites - 1, center, -1):
+            self._qr_step_left(site)
+        self._center = center
+        return self
+
+    def move_center(self, target: int) -> "MPS":
+        """Move the orthogonality center to ``target`` one QR step at a time."""
+        if not 0 <= target < self.num_sites:
+            raise MPSError(f"target {target} outside 0..{self.num_sites - 1}")
+        while self._center < target:
+            self._qr_step_right(self._center)
+            self._center += 1
+        while self._center > target:
+            self._qr_step_left(self._center)
+            self._center -= 1
+        return self
+
+    # --------------------------------------------------------- gate application
+    def apply_single_qubit_gate(self, matrix: np.ndarray, site: int) -> TruncationInfo:
+        """Apply a 1-qubit gate exactly (Figure 10); never truncates."""
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        if matrix.shape != (2, 2):
+            raise MPSError(f"expected a 2x2 gate, got shape {matrix.shape}")
+        self._check_site(site)
+        self._tensors[site] = np.einsum(
+            "st,atb->asb", matrix, self._tensors[site], optimize=True
+        )
+        return TruncationInfo.zero()
+
+    def apply_two_site_gate(self, matrix: np.ndarray, site: int) -> TruncationInfo:
+        """Apply a 2-qubit gate to adjacent sites ``(site, site + 1)`` (Figure 11).
+
+        The gate matrix is given in the usual ``|q_site q_{site+1}>`` ordering.
+        Returns the truncation record of the SVD split.
+        """
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        if matrix.shape != (4, 4):
+            raise MPSError(f"expected a 4x4 gate, got shape {matrix.shape}")
+        if site < 0 or site + 1 >= self.num_sites:
+            raise MPSError(f"two-site gate at {site} outside the chain")
+        self.move_center(site)
+        theta = np.einsum(
+            "lsa,atr->lstr", self._tensors[site], self._tensors[site + 1], optimize=True
+        )
+        gate = matrix.reshape(2, 2, 2, 2)
+        theta = np.einsum("abst,lstr->labr", gate, theta, optimize=True)
+        max_bond = self.max_bond if self.max_bond is not None else theta.shape[0] * 2
+        left, right, info = split_theta(theta, max_bond)
+        self._tensors[site] = left
+        self._tensors[site + 1] = right
+        self._center = site + 1
+        return info
+
+    def swap_sites(self, site: int) -> TruncationInfo:
+        """Swap the qubits at sites ``site`` and ``site + 1`` (may truncate)."""
+        return self.apply_two_site_gate(SWAP, site)
+
+    def apply_gate(self, matrix: np.ndarray, qubits: Sequence[int]) -> list[TruncationInfo]:
+        """Apply a 1- or 2-qubit gate on arbitrary (possibly distant) qubits.
+
+        Distant 2-qubit gates are routed with an internal swap network: the
+        second operand is swapped next to the first, the gate is applied, and
+        the swaps are undone.  Every step's truncation is recorded; the list
+        of records is returned in application order.
+        """
+        qubits = [int(q) for q in qubits]
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        if len(qubits) == 1:
+            self._check_site(qubits[0])
+            return [self.apply_single_qubit_gate(matrix, qubits[0])]
+        if len(qubits) != 2:
+            raise MPSError("MPS gate application supports 1- and 2-qubit gates only")
+        a, b = qubits
+        self._check_site(a)
+        self._check_site(b)
+        if a == b:
+            raise MPSError("2-qubit gate applied to a single qubit twice")
+        if a > b:
+            # Reorder operands so a < b; permute the gate accordingly.
+            a, b = b, a
+            matrix = SWAP @ matrix @ SWAP
+        records: list[TruncationInfo] = []
+        # Bring qubit at site b next to site a (to position a+1).
+        for site in range(b - 1, a, -1):
+            records.append(self.swap_sites(site))
+        records.append(self.apply_two_site_gate(matrix, a))
+        # Undo the routing swaps.
+        for site in range(a + 1, b):
+            records.append(self.swap_sites(site))
+        return records
+
+    def _check_site(self, site: int) -> None:
+        if site < 0 or site >= self.num_sites:
+            raise MPSError(f"site {site} outside 0..{self.num_sites - 1}")
+
+    # --------------------------------------------------------------- measurement
+    def outcome_probability(self, site: int, outcome: int) -> float:
+        """Probability of measuring ``outcome`` (0/1) on ``site``."""
+        if outcome not in (0, 1):
+            raise MPSError("outcome must be 0 or 1")
+        rho = self.reduced_density_matrix([site])
+        return float(np.real(rho[outcome, outcome]))
+
+    def project(self, site: int, outcome: int) -> float:
+        """Collapse ``site`` onto ``outcome``; returns the outcome probability.
+
+        The state is renormalised after the projection.  Used by the MPS
+        approximator to support ``if`` statements (Section 5.2, "Supporting
+        branches").
+        """
+        probability = self.outcome_probability(site, outcome)
+        if probability <= 1e-15:
+            raise MPSError(
+                f"cannot project site {site} onto outcome {outcome} of probability ~0"
+            )
+        tensor = self._tensors[site].copy()
+        tensor[:, 1 - outcome, :] = 0.0
+        self._tensors[site] = tensor
+        # Projection breaks the isometric structure; rebuild it.
+        self.canonicalize(self._center)
+        self.normalize()
+        return probability
+
+    # ----------------------------------------------------- reduced density matrices
+    def _left_environment(self, site: int) -> np.ndarray:
+        """Environment of sites ``0..site-1`` (ket x bra bond indices)."""
+        chi = self._tensors[site].shape[0]
+        if site <= self._center:
+            return np.eye(chi, dtype=np.complex128)
+        env = np.ones((1, 1), dtype=np.complex128)
+        for index in range(site):
+            tensor = self._tensors[index]
+            env = np.einsum("ab,asc,bsd->cd", env, tensor, tensor.conj(), optimize=True)
+        return env
+
+    def _right_environment(self, site: int) -> np.ndarray:
+        """Environment of sites ``site+1..n-1`` (ket x bra bond indices)."""
+        chi = self._tensors[site].shape[2]
+        if site >= self._center:
+            return np.eye(chi, dtype=np.complex128)
+        env = np.ones((1, 1), dtype=np.complex128)
+        for index in range(self.num_sites - 1, site, -1):
+            tensor = self._tensors[index]
+            env = np.einsum("cd,asc,bsd->ab", env, tensor, tensor.conj(), optimize=True)
+        return env
+
+    def reduced_density_matrix(self, qubits: Sequence[int]) -> np.ndarray:
+        """Local density matrix on one or two qubits, in the given order.
+
+        This is the ρ' fed to the (ρ̂, δ)-diamond norm SDP (Section 6,
+        "Computing local density matrix").  The result is normalised to unit
+        trace to protect against accumulated floating-point norm drift.
+        """
+        qubits = [int(q) for q in qubits]
+        for q in qubits:
+            self._check_site(q)
+        # Moving the orthogonality center to the leftmost requested site makes
+        # both environments identities, so the contraction below only touches
+        # the sites between the requested qubits.
+        self.move_center(min(qubits))
+        if len(qubits) == 1:
+            rho = self._rdm_single(qubits[0])
+        elif len(qubits) == 2:
+            if qubits[0] == qubits[1]:
+                raise MPSError("duplicate qubits in reduced density matrix request")
+            i, j = qubits
+            if i < j:
+                rho = self._rdm_pair(i, j)
+            else:
+                rho = self._rdm_pair(j, i)
+                # Swap the tensor factors back into the requested order.
+                rho = rho.reshape(2, 2, 2, 2).transpose(1, 0, 3, 2).reshape(4, 4)
+        else:
+            raise MPSError("reduced density matrices support 1 or 2 qubits only")
+        rho = (rho + rho.conj().T) / 2
+        trace = float(np.trace(rho).real)
+        if trace <= 0:
+            raise MPSError("reduced density matrix has non-positive trace")
+        return rho / trace
+
+    def _rdm_single(self, site: int) -> np.ndarray:
+        left = self._left_environment(site)
+        right = self._right_environment(site)
+        tensor = self._tensors[site]
+        rho = np.einsum(
+            "ab,asc,btd,cd->st", left, tensor, tensor.conj(), right, optimize=True
+        )
+        return rho
+
+    def _rdm_pair(self, i: int, j: int) -> np.ndarray:
+        left = self._left_environment(i)
+        right = self._right_environment(j)
+        tensor_i = self._tensors[i]
+        # T[c, d, s, t]: open ket bond c, bra bond d, ket physical s, bra physical t.
+        transfer = np.einsum(
+            "ab,asc,btd->cdst", left, tensor_i, tensor_i.conj(), optimize=True
+        )
+        for index in range(i + 1, j):
+            tensor = self._tensors[index]
+            transfer = np.einsum(
+                "cdst,cue,dug->egst", transfer, tensor, tensor.conj(), optimize=True
+            )
+        tensor_j = self._tensors[j]
+        rho = np.einsum(
+            "cdst,cue,dvg,eg->sutv", transfer, tensor_j, tensor_j.conj(), right, optimize=True
+        )
+        return rho.reshape(4, 4)
+
+    def expectation_single(self, operator: np.ndarray, site: int) -> complex:
+        """Expectation value of a single-qubit operator on ``site``."""
+        operator = np.asarray(operator, dtype=np.complex128)
+        rho = self.reduced_density_matrix([site])
+        return complex(np.trace(operator @ rho))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MPS(num_qubits={self.num_sites}, max_bond={self.max_bond}, "
+            f"bond_dims={self.bond_dimensions()})"
+        )

@@ -1,0 +1,19 @@
+"""Noise channels, noise models, and calibration-driven device models."""
+
+from .channels import (
+    amplitude_damping,
+    bit_flip,
+    bit_phase_flip,
+    coherent_overrotation,
+    depolarizing,
+    identity_noise,
+    pauli_channel,
+    phase_damping,
+    phase_flip,
+    thermal_relaxation,
+    two_qubit_depolarizing,
+)
+from .model import GateNoiseRule, NoiseModel
+from .calibration import CalibrationData, noise_model_from_calibration
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,181 @@
+"""Standard noise channels (Section 2.3).
+
+Each constructor returns a :class:`~repro.linalg.channels.QuantumChannel`.
+The paper's evaluation uses the bit-flip channel
+``Phi(rho) = (1-p) rho + p X rho X`` with ``p = 1e-4`` on every gate; the
+device experiments additionally use depolarizing and damping channels derived
+from calibration data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import NoiseModelError
+from ..linalg.channels import QuantumChannel
+from ..linalg.operators import (
+    I2,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    kron_all,
+    pauli_string_matrix,
+    rx_matrix,
+    ry_matrix,
+    rz_matrix,
+)
+
+__all__ = [
+    "bit_flip",
+    "phase_flip",
+    "bit_phase_flip",
+    "depolarizing",
+    "two_qubit_depolarizing",
+    "amplitude_damping",
+    "phase_damping",
+    "pauli_channel",
+    "coherent_overrotation",
+    "thermal_relaxation",
+    "identity_noise",
+]
+
+
+def _check_probability(p: float, name: str = "p") -> float:
+    p = float(p)
+    if not 0.0 <= p <= 1.0:
+        raise NoiseModelError(f"{name} must lie in [0, 1], got {p}")
+    return p
+
+
+def identity_noise(num_qubits: int = 1) -> QuantumChannel:
+    """The noiseless channel on ``num_qubits`` qubits."""
+    return QuantumChannel([np.eye(2**num_qubits, dtype=np.complex128)], name="noiseless")
+
+
+def bit_flip(p: float) -> QuantumChannel:
+    """Bit-flip channel ``rho -> (1-p) rho + p X rho X`` (the paper's model)."""
+    p = _check_probability(p)
+    return QuantumChannel(
+        [np.sqrt(1 - p) * I2, np.sqrt(p) * PAULI_X], name=f"bit_flip({p:g})"
+    )
+
+
+def phase_flip(p: float) -> QuantumChannel:
+    """Phase-flip channel ``rho -> (1-p) rho + p Z rho Z``."""
+    p = _check_probability(p)
+    return QuantumChannel(
+        [np.sqrt(1 - p) * I2, np.sqrt(p) * PAULI_Z], name=f"phase_flip({p:g})"
+    )
+
+
+def bit_phase_flip(p: float) -> QuantumChannel:
+    """Bit-phase-flip channel ``rho -> (1-p) rho + p Y rho Y``."""
+    p = _check_probability(p)
+    return QuantumChannel(
+        [np.sqrt(1 - p) * I2, np.sqrt(p) * PAULI_Y], name=f"bit_phase_flip({p:g})"
+    )
+
+
+def depolarizing(p: float) -> QuantumChannel:
+    """Single-qubit depolarizing channel with error probability ``p``.
+
+    With probability ``p`` one of X, Y, Z is applied uniformly at random.
+    """
+    p = _check_probability(p)
+    kraus = [
+        np.sqrt(1 - p) * I2,
+        np.sqrt(p / 3) * PAULI_X,
+        np.sqrt(p / 3) * PAULI_Y,
+        np.sqrt(p / 3) * PAULI_Z,
+    ]
+    return QuantumChannel(kraus, name=f"depolarizing({p:g})")
+
+
+def two_qubit_depolarizing(p: float) -> QuantumChannel:
+    """Two-qubit depolarizing channel over the 15 non-identity Pauli pairs."""
+    p = _check_probability(p)
+    labels = [
+        a + b for a in "IXYZ" for b in "IXYZ" if not (a == "I" and b == "I")
+    ]
+    kraus = [np.sqrt(1 - p) * np.eye(4, dtype=np.complex128)]
+    for label in labels:
+        kraus.append(np.sqrt(p / len(labels)) * pauli_string_matrix(label))
+    return QuantumChannel(kraus, name=f"depolarizing2({p:g})")
+
+
+def amplitude_damping(gamma: float) -> QuantumChannel:
+    """Amplitude damping (energy relaxation) with decay probability ``gamma``."""
+    gamma = _check_probability(gamma, "gamma")
+    k0 = np.array([[1, 0], [0, np.sqrt(1 - gamma)]], dtype=np.complex128)
+    k1 = np.array([[0, np.sqrt(gamma)], [0, 0]], dtype=np.complex128)
+    return QuantumChannel([k0, k1], name=f"amplitude_damping({gamma:g})")
+
+
+def phase_damping(lam: float) -> QuantumChannel:
+    """Phase damping (pure dephasing) with parameter ``lam``."""
+    lam = _check_probability(lam, "lambda")
+    k0 = np.array([[1, 0], [0, np.sqrt(1 - lam)]], dtype=np.complex128)
+    k1 = np.array([[0, 0], [0, np.sqrt(lam)]], dtype=np.complex128)
+    return QuantumChannel([k0, k1], name=f"phase_damping({lam:g})")
+
+
+def pauli_channel(probabilities: Mapping[str, float]) -> QuantumChannel:
+    """General n-qubit Pauli channel from a label -> probability mapping.
+
+    The identity label (``"I" * n``) may be omitted; its probability is the
+    remaining mass.  Example: ``pauli_channel({"X": 0.01, "Z": 0.02})``.
+    """
+    if not probabilities:
+        raise NoiseModelError("pauli_channel needs at least one Pauli label")
+    lengths = {len(label) for label in probabilities}
+    if len(lengths) != 1:
+        raise NoiseModelError("all Pauli labels must have the same length")
+    n = lengths.pop()
+    total = 0.0
+    kraus = []
+    identity_label = "I" * n
+    for label, prob in probabilities.items():
+        prob = _check_probability(prob, f"p[{label}]")
+        total += prob
+        if prob > 0:
+            kraus.append(np.sqrt(prob) * pauli_string_matrix(label))
+    if total > 1.0 + 1e-12:
+        raise NoiseModelError(f"Pauli probabilities sum to {total} > 1")
+    remaining = max(0.0, 1.0 - total)
+    if identity_label not in probabilities and remaining > 0:
+        kraus.insert(0, np.sqrt(remaining) * np.eye(2**n, dtype=np.complex128))
+    return QuantumChannel(kraus, name="pauli_channel")
+
+
+def coherent_overrotation(axis: str, angle: float, num_qubits: int = 1) -> QuantumChannel:
+    """Coherent (unitary) over-rotation error about X, Y or Z on every qubit."""
+    axis = axis.upper()
+    rotations = {"X": rx_matrix, "Y": ry_matrix, "Z": rz_matrix}
+    if axis not in rotations:
+        raise NoiseModelError(f"axis must be X, Y or Z, got {axis!r}")
+    single = rotations[axis](angle)
+    unitary = kron_all([single] * num_qubits)
+    return QuantumChannel([unitary], name=f"overrotation_{axis}({angle:g})")
+
+
+def thermal_relaxation(t1: float, t2: float, gate_time: float) -> QuantumChannel:
+    """A simple thermal relaxation channel built from damping + dephasing.
+
+    ``t1`` and ``t2`` are relaxation/dephasing times and ``gate_time`` the
+    duration of the gate, all in the same units.  The channel composes an
+    amplitude damping of strength ``1 - exp(-t/T1)`` with a phase damping
+    chosen so the total dephasing rate matches ``T2`` (requires
+    ``T2 <= 2 T1``).
+    """
+    if t1 <= 0 or t2 <= 0 or gate_time < 0:
+        raise NoiseModelError("T1, T2 must be positive and gate_time non-negative")
+    if t2 > 2 * t1 + 1e-12:
+        raise NoiseModelError("thermal relaxation requires T2 <= 2*T1")
+    gamma = 1.0 - np.exp(-gate_time / t1)
+    # Total dephasing factor exp(-t/T2) = exp(-t/(2 T1)) * sqrt(1 - lambda).
+    pure_dephasing = np.exp(-gate_time / t2) / np.exp(-gate_time / (2 * t1))
+    lam = max(0.0, 1.0 - pure_dephasing**2)
+    channel = phase_damping(min(1.0, lam)).compose(amplitude_damping(gamma))
+    return QuantumChannel(channel.kraus, name=f"thermal(T1={t1:g},T2={t2:g},t={gate_time:g})")

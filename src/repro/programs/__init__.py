@@ -1,0 +1,18 @@
+"""Benchmark program generators: QAOA, Ising model, GHZ, and the Table 2 suite."""
+
+from .qaoa import (
+    QAOAParameters,
+    line_graph,
+    maxcut_cost_value,
+    qaoa_cost_layer,
+    qaoa_maxcut_circuit,
+    qaoa_mixer_layer,
+    random_graph,
+    random_regular_graph,
+    ring_graph,
+)
+from .ising import IsingParameters, ising_circuit, ising_gate_count, ising_trotter_step
+from .ghz import ghz_circuit, ghz_star_circuit, ideal_ghz_distribution
+from .library import BenchmarkSpec, benchmark_by_name, benchmark_names, table2_benchmarks
+
+__all__ = [name for name in dir() if not name.startswith("_")]

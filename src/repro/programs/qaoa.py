@@ -1,0 +1,157 @@
+"""QAOA max-cut benchmark circuits (Section 7.1).
+
+The Quantum Approximate Optimization Algorithm for max-cut on a graph
+``G = (V, E)`` alternates, for ``p`` rounds, a *cost layer*
+``exp(-i gamma sum_{(u,v) in E} Z_u Z_v)`` with a *mixer layer*
+``exp(-i beta sum_v X_v)``, starting from the uniform superposition.  On NISQ
+gate sets the cost layer is compiled edge by edge into the
+``CX; RZ(2 gamma); CX`` pattern — the form whose gate counts Table 2 reports.
+
+The generators below produce the graph families used in the paper's
+evaluation: a line graph (``QAOA_line_10``), Erdős–Rényi random graphs
+(``QAOARandom20``), and random 4-regular graphs (``QAOA4reg_*``, ``QAOA50``,
+``QAOA75``, ``QAOA100``).  All randomness is seeded so the benchmark suite is
+reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..errors import CircuitError
+
+__all__ = [
+    "QAOAParameters",
+    "line_graph",
+    "ring_graph",
+    "random_graph",
+    "random_regular_graph",
+    "qaoa_maxcut_circuit",
+    "qaoa_cost_layer",
+    "qaoa_mixer_layer",
+    "maxcut_cost_value",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class QAOAParameters:
+    """Angles of a depth-p QAOA circuit.
+
+    ``gammas[k]`` is the cost-layer angle and ``betas[k]`` the mixer-layer
+    angle of round ``k``.
+    """
+
+    gammas: tuple[float, ...]
+    betas: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.gammas) != len(self.betas):
+            raise CircuitError("QAOA needs one beta per gamma")
+        if not self.gammas:
+            raise CircuitError("QAOA needs at least one round")
+
+    @property
+    def rounds(self) -> int:
+        return len(self.gammas)
+
+    @classmethod
+    def single_round(cls, gamma: float, beta: float) -> "QAOAParameters":
+        return cls((float(gamma),), (float(beta),))
+
+    @classmethod
+    def linear_ramp(cls, rounds: int, *, gamma_max: float = 0.8, beta_max: float = 0.6) -> "QAOAParameters":
+        """The standard linear-ramp initialisation of QAOA angles."""
+        if rounds < 1:
+            raise CircuitError("rounds must be at least 1")
+        steps = np.arange(1, rounds + 1) / rounds
+        gammas = tuple(float(gamma_max * s) for s in steps)
+        betas = tuple(float(beta_max * (1 - s)) for s in steps)
+        return cls(gammas, betas)
+
+
+# ---------------------------------------------------------------------------
+# Graph families
+# ---------------------------------------------------------------------------
+
+def line_graph(num_vertices: int) -> nx.Graph:
+    """A path graph 0-1-2-...-(n-1)."""
+    return nx.path_graph(num_vertices)
+
+
+def ring_graph(num_vertices: int) -> nx.Graph:
+    """A cycle graph."""
+    return nx.cycle_graph(num_vertices)
+
+
+def random_graph(num_vertices: int, edge_probability: float, *, seed: int = 0) -> nx.Graph:
+    """An Erdős–Rényi random graph with a fixed seed."""
+    return nx.gnp_random_graph(num_vertices, edge_probability, seed=seed)
+
+
+def random_regular_graph(num_vertices: int, degree: int = 4, *, seed: int = 0) -> nx.Graph:
+    """A random d-regular graph (d=4 matches the paper's QAOA4reg benchmarks)."""
+    return nx.random_regular_graph(degree, num_vertices, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Circuit construction
+# ---------------------------------------------------------------------------
+
+def qaoa_cost_layer(circuit: Circuit, edges: Iterable[tuple[int, int]], gamma: float) -> Circuit:
+    """Append the compiled cost layer ``prod_(u,v) exp(-i gamma Z_u Z_v)``."""
+    for u, v in edges:
+        circuit.cx(u, v)
+        circuit.rz(2.0 * gamma, v)
+        circuit.cx(u, v)
+    return circuit
+
+
+def qaoa_mixer_layer(circuit: Circuit, beta: float, qubits: Sequence[int] | None = None) -> Circuit:
+    """Append the mixer layer ``prod_v exp(-i beta X_v)``."""
+    targets = range(circuit.num_qubits) if qubits is None else qubits
+    for q in targets:
+        circuit.rx(2.0 * beta, q)
+    return circuit
+
+
+def qaoa_maxcut_circuit(
+    graph: nx.Graph,
+    parameters: QAOAParameters,
+    *,
+    include_initial_layer: bool = True,
+    name: str | None = None,
+) -> Circuit:
+    """The full QAOA max-cut circuit for a graph.
+
+    Args:
+        graph: the problem graph; vertices must be integers 0..n-1.
+        parameters: the per-round angles.
+        include_initial_layer: whether to prepend the Hadamard layer preparing
+            the uniform superposition (the paper's circuits include it).
+        name: optional circuit name.
+    """
+    vertices = sorted(graph.nodes)
+    if vertices != list(range(len(vertices))):
+        raise CircuitError("graph vertices must be labelled 0..n-1")
+    num_qubits = len(vertices)
+    if num_qubits == 0:
+        raise CircuitError("QAOA needs a non-empty graph")
+    circuit = Circuit(num_qubits, name=name or f"qaoa_{num_qubits}")
+    if include_initial_layer:
+        circuit.h_layer()
+    edges = sorted(tuple(sorted(edge)) for edge in graph.edges)
+    for gamma, beta in zip(parameters.gammas, parameters.betas):
+        qaoa_cost_layer(circuit, edges, gamma)
+        qaoa_mixer_layer(circuit, beta)
+    return circuit
+
+
+def maxcut_cost_value(graph: nx.Graph, bits: Sequence[int]) -> int:
+    """Cut value of an assignment (used to sanity-check the circuits in tests)."""
+    bits = [int(b) for b in bits]
+    return sum(1 for u, v in graph.edges if bits[u] != bits[v])

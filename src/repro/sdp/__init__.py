@@ -1,0 +1,29 @@
+"""Semidefinite programming engine for constrained diamond norms (Section 6)."""
+
+from .problem import BlockVector, Constraint, SDPProblem
+from .admm import ADMMResult, ADMMSolver, solve_sdp
+from .certificates import (
+    DualCertificate,
+    certified_value,
+    repair_dual_candidate,
+    verify_certificate,
+)
+from .diamond import (
+    DiamondNormBound,
+    GateBoundCache,
+    build_constrained_diamond_sdp,
+    constrained_diamond_norm,
+    diamond_distance,
+    gate_error_bound,
+    q_lambda_diamond_norm,
+    rho_delta_constraint_bound,
+    rho_delta_diamond_norm,
+)
+from .brute import (
+    achieved_error_for_input,
+    constrained_diamond_lower_bound,
+    diamond_lower_bound,
+    random_feasible_state,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,145 @@
+"""Standard-form semidefinite programs over block-diagonal Hermitian variables.
+
+The diamond-norm computations of Section 6 are expressed as SDPs in the
+standard primal form
+
+    minimise    <C, X>
+    subject to  <A_i, X> = b_i          (i = 1..m)
+                X >= 0 (block-diagonal),
+
+where ``X`` is a tuple of Hermitian blocks (a 1x1 block models a non-negative
+scalar).  The inner product is the real trace inner product, realised through
+the isometric vectorisation :func:`repro.linalg.hermitian.hvec`, so the solver
+in :mod:`repro.sdp.admm` can work with plain real vectors and a dense
+constraint matrix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import SDPError
+from ..linalg.hermitian import hunvec, hvec
+
+__all__ = ["BlockVector", "SDPProblem", "Constraint"]
+
+
+class BlockVector:
+    """A tuple of Hermitian matrices matching a block structure."""
+
+    def __init__(self, blocks: Sequence[np.ndarray]):
+        self.blocks = [np.asarray(b, dtype=np.complex128) for b in blocks]
+
+    @classmethod
+    def zeros(cls, dims: Sequence[int]) -> "BlockVector":
+        return cls([np.zeros((d, d), dtype=np.complex128) for d in dims])
+
+    def to_real(self) -> np.ndarray:
+        """Concatenated isometric real vectorisation of all blocks."""
+        return np.concatenate([hvec(b) for b in self.blocks])
+
+    @classmethod
+    def from_real(cls, vector: np.ndarray, dims: Sequence[int]) -> "BlockVector":
+        blocks = []
+        offset = 0
+        for d in dims:
+            size = d * d
+            blocks.append(hunvec(vector[offset : offset + size], d))
+            offset += size
+        return cls(blocks)
+
+    def inner(self, other: "BlockVector") -> float:
+        """Real trace inner product ``sum_k tr(A_k B_k)``."""
+        total = 0.0
+        for a, b in zip(self.blocks, other.blocks):
+            total += float(np.real(np.trace(a @ b)))
+        return total
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+@dataclasses.dataclass(frozen=True)
+class Constraint:
+    """One linear equality ``<A, X> = b`` over the block variable."""
+
+    operator: BlockVector
+    value: float
+    label: str = ""
+
+
+class SDPProblem:
+    """A standard-form SDP with named constraints.
+
+    Args:
+        block_dims: side lengths of the PSD blocks of the variable ``X``.
+            A dimension of 1 represents a non-negative scalar.
+        objective: the cost blocks ``C`` (minimised).
+    """
+
+    def __init__(self, block_dims: Sequence[int], objective: BlockVector):
+        self.block_dims = [int(d) for d in block_dims]
+        if any(d < 1 for d in self.block_dims):
+            raise SDPError("block dimensions must be positive")
+        if len(objective.blocks) != len(self.block_dims):
+            raise SDPError("objective must have one block per variable block")
+        for block, dim in zip(objective.blocks, self.block_dims):
+            if block.shape != (dim, dim):
+                raise SDPError(
+                    f"objective block of shape {block.shape} does not match dimension {dim}"
+                )
+        self.objective = objective
+        self.constraints: list[Constraint] = []
+
+    # -- construction --------------------------------------------------------
+    def add_constraint(
+        self, operator_blocks: Sequence[np.ndarray], value: float, *, label: str = ""
+    ) -> None:
+        """Add an equality constraint given one operator per block."""
+        if len(operator_blocks) != len(self.block_dims):
+            raise SDPError("constraint must provide one operator per block")
+        blocks = []
+        for block, dim in zip(operator_blocks, self.block_dims):
+            block = np.asarray(block, dtype=np.complex128)
+            if block.shape != (dim, dim):
+                raise SDPError(
+                    f"constraint block of shape {block.shape} does not match dimension {dim}"
+                )
+            blocks.append(block)
+        self.constraints.append(Constraint(BlockVector(blocks), float(value), label))
+
+    # -- dense views ------------------------------------------------------------
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def real_dimension(self) -> int:
+        return sum(d * d for d in self.block_dims)
+
+    def constraint_matrix(self) -> np.ndarray:
+        """Dense matrix whose rows are the vectorised constraint operators."""
+        if not self.constraints:
+            raise SDPError("the problem has no constraints")
+        return np.stack([c.operator.to_real() for c in self.constraints])
+
+    def constraint_values(self) -> np.ndarray:
+        return np.array([c.value for c in self.constraints], dtype=float)
+
+    def objective_vector(self) -> np.ndarray:
+        return self.objective.to_real()
+
+    def split(self, vector: np.ndarray) -> BlockVector:
+        """Turn a real vector back into a block variable."""
+        return BlockVector.from_real(vector, self.block_dims)
+
+    def primal_objective(self, x: BlockVector) -> float:
+        return self.objective.inner(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SDPProblem(blocks={self.block_dims}, constraints={self.num_constraints})"
+        )

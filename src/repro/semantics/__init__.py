@@ -1,0 +1,28 @@
+"""Program semantics: ideal and noisy simulators, measurement utilities."""
+
+from .statevector import (
+    StatevectorSimulator,
+    apply_gate_to_statevector,
+    simulate_statevector,
+)
+from .density import (
+    DensityMatrixSimulator,
+    apply_gate_to_density,
+    measurement_projectors,
+    simulate_density,
+)
+from .noisy import (
+    NoisyDensityMatrixSimulator,
+    exact_program_error,
+    simulate_noisy_density,
+)
+from .measurement import (
+    apply_readout_error,
+    expectation_of_diagonal,
+    marginal_distribution,
+    outcome_probabilities,
+    probabilities_to_dict,
+    sample_counts,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

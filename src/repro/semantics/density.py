@@ -1,0 +1,136 @@
+"""Denotational semantics of quantum programs on density matrices (Figure 3).
+
+``[[skip]](rho) = rho``; ``[[P1; P2]](rho) = [[P2]]([[P1]](rho))``;
+``[[U(q...)]](rho) = U rho U^dagger`` with the gate extended by identities;
+``[[if q = |0> then P0 else P1]](rho) = [[P0]](M0 rho M0) + [[P1]](M1 rho M1)``.
+
+The simulator is exact and therefore exponential in the number of qubits.  It
+is used for:
+
+* the ideal/noisy reference outputs against which the error logic's bounds
+  are checked in tests (Theorem A.1);
+* the LQR + full simulation baseline of Table 2 (whose infeasibility beyond
+  ~20 qubits is exactly the point of that experiment — see the resource
+  guard).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.program import GateOp, IfMeasure, Program, Seq, Skip
+from ..config import ResourceGuard
+from ..errors import SimulationError
+from ..linalg.operators import embed_operator
+from ..linalg.states import density_matrix, num_qubits_of, zero_state
+
+__all__ = [
+    "DensityMatrixSimulator",
+    "apply_gate_to_density",
+    "measurement_projectors",
+    "simulate_density",
+]
+
+
+def measurement_projectors(qubit: int, num_qubits: int) -> tuple[np.ndarray, np.ndarray]:
+    """Projectors ``M0, M1`` for a computational-basis measurement of ``qubit``."""
+    p0 = np.array([[1, 0], [0, 0]], dtype=np.complex128)
+    p1 = np.array([[0, 0], [0, 1]], dtype=np.complex128)
+    return (
+        embed_operator(p0, [qubit], num_qubits),
+        embed_operator(p1, [qubit], num_qubits),
+    )
+
+
+def apply_gate_to_density(
+    rho: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply ``U rho U^dagger`` with the gate embedded into the register."""
+    unitary = embed_operator(matrix, qubits, num_qubits)
+    return unitary @ rho @ unitary.conj().T
+
+
+class DensityMatrixSimulator:
+    """Exact density-matrix interpreter of the Figure 3 semantics."""
+
+    def __init__(self, guard: ResourceGuard | None = None):
+        self._guard = guard or ResourceGuard()
+
+    def run(
+        self,
+        program: Program | Circuit,
+        *,
+        initial_state: np.ndarray | None = None,
+        num_qubits: int | None = None,
+    ) -> np.ndarray:
+        """Return ``[[P]](rho0)`` as a dense density matrix."""
+        ast, n = self._normalise(program, initial_state, num_qubits)
+        self._guard.check_dense_qubits(n)
+        rho = self._initial_density(initial_state, n)
+        return self._interpret(ast, rho, n)
+
+    # -- helpers -----------------------------------------------------------
+    def _normalise(
+        self,
+        program: Program | Circuit,
+        initial_state: np.ndarray | None,
+        num_qubits: int | None,
+    ) -> tuple[Program, int]:
+        if isinstance(program, Circuit):
+            ast = program.to_program()
+            n = program.num_qubits
+        else:
+            ast = program
+            n = program.num_qubits
+        if initial_state is not None:
+            n = max(n, num_qubits_of(np.asarray(initial_state)))
+        if num_qubits is not None:
+            n = max(n, num_qubits)
+        if n == 0:
+            raise SimulationError("cannot simulate a program with no qubits")
+        return ast, n
+
+    def _initial_density(self, initial_state: np.ndarray | None, n: int) -> np.ndarray:
+        if initial_state is None:
+            return density_matrix(zero_state(n))
+        rho = density_matrix(np.asarray(initial_state, dtype=np.complex128))
+        if rho.shape != (2**n, 2**n):
+            raise SimulationError(
+                f"initial state dimension {rho.shape} does not match {n} qubits"
+            )
+        return rho.copy()
+
+    def _interpret(self, program: Program, rho: np.ndarray, n: int) -> np.ndarray:
+        if isinstance(program, Skip):
+            return rho
+        if isinstance(program, GateOp):
+            return self._apply_gate(program, rho, n)
+        if isinstance(program, Seq):
+            for part in program.parts:
+                rho = self._interpret(part, rho, n)
+            return rho
+        if isinstance(program, IfMeasure):
+            m0, m1 = measurement_projectors(program.qubit, n)
+            branch0 = self._interpret(program.then_branch, m0 @ rho @ m0.conj().T, n)
+            branch1 = self._interpret(program.else_branch, m1 @ rho @ m1.conj().T, n)
+            return branch0 + branch1
+        raise SimulationError(f"unknown program node {type(program).__name__}")
+
+    def _apply_gate(self, op: GateOp, rho: np.ndarray, n: int) -> np.ndarray:
+        return apply_gate_to_density(rho, op.gate.matrix, op.qubits, n)
+
+
+def simulate_density(
+    program: Program | Circuit,
+    *,
+    initial_state: np.ndarray | None = None,
+    num_qubits: int | None = None,
+    guard: ResourceGuard | None = None,
+) -> np.ndarray:
+    """Functional wrapper around :class:`DensityMatrixSimulator`."""
+    return DensityMatrixSimulator(guard).run(
+        program, initial_state=initial_state, num_qubits=num_qubits
+    )

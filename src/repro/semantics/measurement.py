@@ -1,0 +1,126 @@
+"""Measurement utilities: outcome distributions, sampling, readout error.
+
+These are used by the hardware emulator (Table 3) to turn simulated quantum
+states into the classical probability distributions and finite-shot counts a
+real device produces.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..linalg.states import density_matrix, num_qubits_of
+
+__all__ = [
+    "outcome_probabilities",
+    "probabilities_to_dict",
+    "sample_counts",
+    "apply_readout_error",
+    "marginal_distribution",
+    "expectation_of_diagonal",
+]
+
+
+def outcome_probabilities(state: np.ndarray) -> np.ndarray:
+    """Computational-basis outcome probabilities of a state (vector or density)."""
+    state = np.asarray(state, dtype=np.complex128)
+    if state.ndim == 1:
+        probs = np.abs(state) ** 2
+    else:
+        probs = np.real(np.diag(density_matrix(state))).copy()
+    probs = np.clip(probs, 0.0, None)
+    total = probs.sum()
+    if total <= 0:
+        raise SimulationError("state has zero norm")
+    return probs / total
+
+
+def probabilities_to_dict(probs: np.ndarray, *, cutoff: float = 0.0) -> dict[str, float]:
+    """Convert a probability vector into a bitstring -> probability dict."""
+    probs = np.asarray(probs, dtype=float)
+    n = num_qubits_of(probs)
+    out: dict[str, float] = {}
+    for index, value in enumerate(probs):
+        if value > cutoff:
+            out[format(index, f"0{n}b")] = float(value)
+    return out
+
+
+def sample_counts(
+    probs: np.ndarray | Mapping[str, float],
+    shots: int,
+    *,
+    rng: np.random.Generator | None = None,
+) -> dict[str, int]:
+    """Sample measurement counts from an outcome distribution."""
+    rng = rng or np.random.default_rng()
+    if shots <= 0:
+        raise SimulationError("shots must be positive")
+    if isinstance(probs, Mapping):
+        keys = sorted(probs)
+        values = np.array([probs[k] for k in keys], dtype=float)
+        values = values / values.sum()
+        draws = rng.multinomial(shots, values)
+        return {k: int(c) for k, c in zip(keys, draws) if c > 0}
+    probs = np.asarray(probs, dtype=float)
+    probs = probs / probs.sum()
+    n = num_qubits_of(probs)
+    draws = rng.multinomial(shots, probs)
+    return {
+        format(index, f"0{n}b"): int(count)
+        for index, count in enumerate(draws)
+        if count > 0
+    }
+
+
+def apply_readout_error(
+    probs: np.ndarray, readout_error: Sequence[float] | Mapping[int, float]
+) -> np.ndarray:
+    """Apply independent per-qubit symmetric readout (assignment) errors.
+
+    ``readout_error[q]`` is the probability that qubit ``q``'s outcome is
+    flipped when read out.  The distribution is transformed by the tensor
+    product of 2x2 confusion matrices.
+    """
+    probs = np.asarray(probs, dtype=float)
+    n = num_qubits_of(probs)
+    if isinstance(readout_error, Mapping):
+        errors = [float(readout_error.get(q, 0.0)) for q in range(n)]
+    else:
+        errors = [float(e) for e in readout_error]
+        if len(errors) != n:
+            raise SimulationError(
+                f"readout_error has {len(errors)} entries for {n} qubits"
+            )
+    tensor = probs.reshape([2] * n)
+    for qubit, error in enumerate(errors):
+        if error == 0.0:
+            continue
+        confusion = np.array([[1 - error, error], [error, 1 - error]], dtype=float)
+        tensor = np.tensordot(confusion, tensor, axes=([1], [qubit]))
+        tensor = np.moveaxis(tensor, 0, qubit)
+    return tensor.reshape(-1)
+
+
+def marginal_distribution(probs: np.ndarray, qubits: Sequence[int]) -> np.ndarray:
+    """Marginal outcome distribution on a subset of qubits (in given order)."""
+    probs = np.asarray(probs, dtype=float)
+    n = num_qubits_of(probs)
+    qubits = [int(q) for q in qubits]
+    tensor = probs.reshape([2] * n)
+    other = [q for q in range(n) if q not in qubits]
+    tensor = tensor.transpose(qubits + other)
+    tensor = tensor.reshape(2 ** len(qubits), -1)
+    return tensor.sum(axis=1)
+
+
+def expectation_of_diagonal(probs: np.ndarray, values: np.ndarray) -> float:
+    """Expectation of a diagonal observable given an outcome distribution."""
+    probs = np.asarray(probs, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if probs.shape != values.shape:
+        raise SimulationError("probability and value vectors must have equal shape")
+    return float(np.dot(probs, values))

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite.
+
+The SDP-heavy tests use ``fast_config`` (low iteration caps) whenever the
+asserted property is soundness rather than tightness — certified bounds stay
+valid at any solver accuracy, which keeps the suite quick.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.config import AnalysisConfig, ResourceGuard, SDPConfig
+from repro.noise import NoiseModel
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def fast_sdp_config() -> SDPConfig:
+    """A cheap SDP configuration: still certified, just potentially looser."""
+    return SDPConfig(max_iterations=400, tolerance=1e-5)
+
+
+@pytest.fixture
+def fast_analysis_config(fast_sdp_config: SDPConfig) -> AnalysisConfig:
+    return AnalysisConfig(mps_width=8, sdp=fast_sdp_config, guard=ResourceGuard(max_dense_qubits=10))
+
+
+@pytest.fixture
+def bit_flip_model() -> NoiseModel:
+    """The paper's sample noise model with a visible error rate."""
+    return NoiseModel.uniform_bit_flip(1e-3)
+
+
+@pytest.fixture
+def ghz2_circuit() -> Circuit:
+    return Circuit(2, name="ghz2").h(0).cx(0, 1)
+
+
+@pytest.fixture
+def ghz3_circuit() -> Circuit:
+    return Circuit(3, name="ghz3").h(0).cx(0, 1).cx(1, 2)
+
+
+def random_circuit(num_qubits: int, num_gates: int, seed: int = 0) -> Circuit:
+    """A random 1q/2q circuit used by several property tests."""
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits, name=f"random_{num_qubits}_{num_gates}")
+    for _ in range(num_gates):
+        kind = rng.integers(0, 4)
+        if kind == 0:
+            circuit.rx(float(rng.uniform(0, 2 * np.pi)), int(rng.integers(0, num_qubits)))
+        elif kind == 1:
+            circuit.rz(float(rng.uniform(0, 2 * np.pi)), int(rng.integers(0, num_qubits)))
+        elif kind == 2:
+            circuit.h(int(rng.integers(0, num_qubits)))
+        else:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.cx(int(a), int(b))
+    return circuit
+
+
+@pytest.fixture
+def random_circuit_factory():
+    return random_circuit

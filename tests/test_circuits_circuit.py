@@ -1,0 +1,119 @@
+"""Unit tests for the Circuit builder."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.errors import CircuitError
+from repro.linalg import CNOT
+from repro.semantics import simulate_statevector
+
+
+class TestConstruction:
+    def test_fluent_chaining(self):
+        circuit = Circuit(2).h(0).cx(0, 1).rz(0.3, 1)
+        assert circuit.gate_count() == 3
+        assert len(circuit) == 3
+
+    def test_qubit_bounds_checked(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).h(2)
+        with pytest.raises(CircuitError):
+            Circuit(0)
+
+    def test_all_single_qubit_helpers(self):
+        circuit = Circuit(1)
+        circuit.i(0).x(0).y(0).z(0).h(0).s(0).sdg(0).t(0).tdg(0)
+        circuit.rx(0.1, 0).ry(0.2, 0).rz(0.3, 0).p(0.4, 0).u3(0.1, 0.2, 0.3, 0)
+        assert circuit.gate_count() == 14
+
+    def test_two_qubit_helpers(self):
+        circuit = Circuit(3)
+        circuit.cx(0, 1).cnot(1, 2).cz(0, 2).swap(1, 2).rzz(0.5, 0, 1).crz(0.3, 0, 2)
+        assert circuit.two_qubit_gate_count() == 6
+
+    def test_custom_unitary(self):
+        circuit = Circuit(2).unitary(CNOT, 0, 1, name="mygate")
+        assert next(iter(circuit.operations())).gate.name == "mygate"
+        with pytest.raises(CircuitError):
+            Circuit(2).unitary(CNOT, 0)
+
+    def test_layers(self):
+        circuit = Circuit(3).h_layer().rx_layer(0.5)
+        assert circuit.gate_count() == 6
+        partial = Circuit(3).h_layer([0, 2])
+        assert partial.gate_count() == 2
+
+
+class TestStructure:
+    def test_depth(self):
+        circuit = Circuit(3).h(0).h(1).cx(0, 1).h(2)
+        assert circuit.depth() == 2
+
+    def test_operations_order(self):
+        circuit = Circuit(2).h(0).cx(0, 1)
+        names = [op.gate.name for op in circuit.operations()]
+        assert names == ["h", "cx"]
+
+    def test_extend_and_copy(self):
+        first = Circuit(2).h(0)
+        second = Circuit(2).cx(0, 1)
+        first.extend(second)
+        assert first.gate_count() == 2
+        clone = first.copy()
+        clone.h(1)
+        assert first.gate_count() == 2
+        assert clone.gate_count() == 3
+
+    def test_extend_register_check(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).extend(Circuit(3).h(2))
+
+    def test_inverse_cancels(self):
+        circuit = Circuit(2).h(0).rz(0.4, 0).cx(0, 1)
+        combined = circuit.copy().extend(circuit.inverse())
+        state = simulate_statevector(combined)
+        assert np.isclose(abs(state[0]), 1.0)
+
+    def test_remap(self):
+        circuit = Circuit(2).h(0).cx(0, 1)
+        remapped = circuit.remap([3, 1], num_qubits=4)
+        ops = list(remapped.operations())
+        assert ops[0].qubits == (3,)
+        assert ops[1].qubits == (3, 1)
+
+    def test_remap_missing_qubit(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).cx(0, 1).remap({0: 1})
+
+
+class TestBranches:
+    def test_if_measure(self):
+        circuit = Circuit(2).h(0)
+        circuit.if_measure(0, lambda c: c.x(1), lambda c: c.z(1))
+        assert circuit.has_branches()
+        program = circuit.to_program()
+        assert program.branch_count() == 2
+
+    def test_if_measure_default_else(self):
+        circuit = Circuit(2).h(0)
+        circuit.if_measure(0, lambda c: c.x(1))
+        assert circuit.to_program().branch_count() == 2
+
+    def test_operations_rejected_with_branches(self):
+        circuit = Circuit(2).h(0)
+        circuit.if_measure(0, lambda c: c.x(1))
+        with pytest.raises(CircuitError):
+            list(circuit.operations())
+
+
+class TestConversions:
+    def test_roundtrip_program(self):
+        circuit = Circuit(3).h(0).cx(0, 1).rz(0.2, 2)
+        rebuilt = Circuit.from_program(circuit.to_program(), 3)
+        assert [op.gate.name for op in rebuilt.operations()] == ["h", "cx", "rz"]
+
+    def test_empty_circuit_program_is_skip(self):
+        from repro.circuits import Skip
+
+        assert isinstance(Circuit(1).to_program(), Skip)

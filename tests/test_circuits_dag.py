@@ -1,0 +1,41 @@
+"""Unit tests for the circuit DAG / moment view."""
+
+import pytest
+
+from repro.circuits import Circuit, CircuitDAG, circuit_depth, circuit_moments
+from repro.errors import CircuitError
+
+
+class TestDAG:
+    def test_dependencies(self):
+        circuit = Circuit(3).h(0).cx(0, 1).h(2).cx(1, 2)
+        dag = CircuitDAG(circuit)
+        assert len(dag) == 4
+        ops = dag.operations()
+        assert [op.gate.name for op in ops][0] == "h"
+
+    def test_moments_pack_parallel_gates(self):
+        circuit = Circuit(4).h(0).h(1).h(2).h(3).cx(0, 1).cx(2, 3)
+        moments = circuit_moments(circuit)
+        assert len(moments) == 2
+        assert len(moments[0]) == 4
+        assert len(moments[1]) == 2
+
+    def test_depth_matches_circuit_depth(self):
+        circuit = Circuit(3).h(0).cx(0, 1).cx(1, 2).h(0)
+        assert circuit_depth(circuit) == circuit.depth()
+
+    def test_two_qubit_depth(self):
+        circuit = Circuit(3).h(0).cx(0, 1).h(1).cx(1, 2)
+        dag = CircuitDAG(circuit)
+        assert dag.two_qubit_depth() == 2
+
+    def test_rejects_branches(self):
+        circuit = Circuit(2).h(0)
+        circuit.if_measure(0, lambda c: c.x(1))
+        with pytest.raises(CircuitError):
+            CircuitDAG(circuit)
+
+    def test_empty_circuit(self):
+        assert circuit_moments(Circuit(2)) == []
+        assert circuit_depth(Circuit(2)) == 0

@@ -1,0 +1,53 @@
+"""Tests for the ASCII circuit renderer."""
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.drawer import draw_circuit
+from repro.errors import CircuitError
+
+
+class TestDrawCircuit:
+    def test_ghz_layout(self, ghz2_circuit):
+        art = draw_circuit(ghz2_circuit)
+        lines = art.splitlines()
+        assert lines[0].startswith("q0:")
+        assert "[h]" in lines[0]
+        assert "●" in lines[0]
+        assert "[X]" in lines[-1]
+        # Vertical connector between the control and target rows.
+        assert any("│" in line for line in lines)
+
+    def test_single_qubit_parametric_gate(self):
+        art = draw_circuit(Circuit(1).rz(0.5, 0))
+        assert "rz(0.5)" in art
+
+    def test_swap_and_cz(self):
+        art = draw_circuit(Circuit(2).swap(0, 1).cz(0, 1))
+        assert art.count("x") >= 2
+        assert "[Z]" in art
+
+    def test_custom_two_qubit_gate_prints_name_on_both_wires(self):
+        art = draw_circuit(Circuit(2).rzz(0.3, 0, 1))
+        assert art.count("rzz") == 2
+
+    def test_every_qubit_has_a_wire(self):
+        art = draw_circuit(Circuit(3).h(0))
+        lines = [line for line in art.splitlines() if line.startswith("q")]
+        assert len(lines) == 3
+        assert lines[2].startswith("q2:")
+
+    def test_parallel_gates_share_a_column(self):
+        art = draw_circuit(Circuit(2).h(0).h(1))
+        lines = [line for line in art.splitlines() if line.startswith("q")]
+        assert lines[0].index("[h]") == lines[1].index("[h]")
+
+    def test_branches_rejected(self):
+        circuit = Circuit(2).h(0)
+        circuit.if_measure(0, lambda c: c.x(1))
+        with pytest.raises(CircuitError):
+            draw_circuit(circuit)
+
+    def test_empty_circuit(self):
+        art = draw_circuit(Circuit(2))
+        assert art.splitlines()[0].startswith("q0:")

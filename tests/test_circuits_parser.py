@@ -1,0 +1,92 @@
+"""Unit tests for the circuit text format."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, dumps, loads, parse_circuit, serialize_circuit
+from repro.errors import CircuitError
+from repro.semantics import simulate_statevector
+
+
+class TestParsing:
+    def test_simple_circuit(self):
+        circuit = parse_circuit(
+            """
+            qubits 2
+            h 0
+            cx 0 1
+            """
+        )
+        assert circuit.num_qubits == 2
+        assert [op.gate.name for op in circuit.operations()] == ["h", "cx"]
+
+    def test_parameters_and_comments(self):
+        circuit = parse_circuit(
+            """
+            # a comment
+            qubits 1
+            rz(0.5) 0   # trailing comment
+            u3(0.1, 0.2, 0.3) 0
+            """
+        )
+        ops = list(circuit.operations())
+        assert ops[0].gate.params == (0.5,)
+        assert ops[1].gate.params == (0.1, 0.2, 0.3)
+
+    def test_comma_separated_qubits(self):
+        circuit = parse_circuit("qubits 2\ncx 0, 1\n")
+        assert next(iter(circuit.operations())).qubits == (0, 1)
+
+    def test_if_blocks(self):
+        circuit = parse_circuit(
+            """
+            qubits 2
+            h 0
+            if 0 {
+                x 1
+            } else {
+                z 1
+            }
+            """
+        )
+        assert circuit.has_branches()
+        program = circuit.to_program()
+        assert program.branch_count() == 2
+
+    def test_missing_header(self):
+        with pytest.raises(CircuitError):
+            parse_circuit("h 0\n")
+
+    def test_bad_gate_line(self):
+        with pytest.raises(CircuitError):
+            parse_circuit("qubits 1\nh\n")
+
+    def test_unterminated_if(self):
+        with pytest.raises(CircuitError):
+            parse_circuit("qubits 1\nif 0 {\nx 0\n")
+
+    def test_unknown_gate(self):
+        with pytest.raises(CircuitError):
+            parse_circuit("qubits 1\nwat 0\n")
+
+
+class TestRoundtrip:
+    def test_serialise_parse_roundtrip(self):
+        circuit = Circuit(3).h(0).cx(0, 1).rz(0.75, 2).swap(1, 2)
+        text = serialize_circuit(circuit)
+        rebuilt = parse_circuit(text)
+        original = simulate_statevector(circuit)
+        recovered = simulate_statevector(rebuilt)
+        assert np.allclose(original, recovered)
+
+    def test_roundtrip_with_branches(self):
+        circuit = Circuit(2).h(0)
+        circuit.if_measure(0, lambda c: c.x(1), lambda c: c.z(1))
+        text = dumps(circuit)
+        rebuilt = loads(text)
+        assert rebuilt.has_branches()
+        assert "if 0 {" in text
+
+    def test_aliases(self):
+        circuit = Circuit(1).h(0)
+        assert loads(dumps(circuit)).gate_count() == 1

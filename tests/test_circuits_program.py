@@ -1,0 +1,92 @@
+"""Unit tests for the program AST."""
+
+import pytest
+
+from repro.circuits import GateOp, IfMeasure, Seq, Skip, gate_op, seq
+from repro.circuits import gates as gate_lib
+from repro.errors import CircuitError
+
+
+class TestGateOp:
+    def test_basic_properties(self):
+        op = gate_op(gate_lib.cx(), [0, 2])
+        assert op.qubits == (0, 2)
+        assert op.gate_count() == 1
+        assert op.qubits_used() == {0, 2}
+        assert op.num_qubits == 3
+
+    def test_arity_mismatch(self):
+        with pytest.raises(CircuitError):
+            GateOp(gate_lib.cx(), (0,))
+
+    def test_duplicate_qubits(self):
+        with pytest.raises(CircuitError):
+            GateOp(gate_lib.cx(), (1, 1))
+
+    def test_negative_qubit(self):
+        with pytest.raises(CircuitError):
+            GateOp(gate_lib.h(), (-1,))
+
+    def test_single_qubit_shorthand(self):
+        assert gate_op(gate_lib.h(), 3).qubits == (3,)
+
+
+class TestSeqAndSkip:
+    def test_skip(self):
+        skip = Skip()
+        assert skip.gate_count() == 0
+        assert skip.statements() == []
+        assert list(skip.operations()) == []
+
+    def test_seq_flattening(self):
+        program = seq(gate_op(gate_lib.h(), 0), seq(gate_op(gate_lib.x(), 1), Skip()))
+        assert isinstance(program, Seq)
+        assert program.gate_count() == 2
+        assert [op.gate.name for op in program.operations()] == ["h", "x"]
+
+    def test_seq_of_nothing_is_skip(self):
+        assert isinstance(seq(Skip(), Skip()), Skip)
+
+    def test_seq_single_element_unwrapped(self):
+        op = gate_op(gate_lib.h(), 0)
+        assert seq(op) is op
+
+    def test_then_operator(self):
+        program = gate_op(gate_lib.h(), 0) >> gate_op(gate_lib.x(), 0)
+        assert program.gate_count() == 2
+
+    def test_pretty_contains_gate_names(self):
+        program = seq(gate_op(gate_lib.h(), 0), gate_op(gate_lib.cx(), [0, 1]))
+        text = program.pretty()
+        assert "h(q0)" in text and "cx(q0, q1)" in text
+
+
+class TestIfMeasure:
+    def _branchy(self):
+        return IfMeasure(0, gate_op(gate_lib.x(), 1), gate_op(gate_lib.z(), 1))
+
+    def test_counts(self):
+        program = self._branchy()
+        assert program.branch_count() == 2
+        assert program.gate_count() == 1
+        assert program.total_gate_count() == 2
+        assert program.qubits_used() == {0, 1}
+
+    def test_operations_rejected_for_branches(self):
+        with pytest.raises(CircuitError):
+            list(self._branchy().operations())
+
+    def test_nested_branch_count(self):
+        inner = self._branchy()
+        outer = IfMeasure(2, inner, Skip())
+        assert outer.branch_count() == 3
+
+    def test_pretty(self):
+        text = self._branchy().pretty()
+        assert "if q0 = |0>" in text
+        assert "else" in text
+
+    def test_seq_with_branches_counts_max(self):
+        program = seq(gate_op(gate_lib.h(), 0), self._branchy())
+        assert program.gate_count() == 2
+        assert program.branch_count() == 2

@@ -1,0 +1,168 @@
+"""Tests for the experiment harnesses (small configurations only).
+
+The full regeneration of the paper's tables lives in ``benchmarks/``; these
+tests exercise the harness logic and the expected *shapes* on tiny instances
+so the suite stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import AnalysisConfig, SDPConfig
+from repro.devices import CouplingMap, boeblingen_calibration
+from repro.errors import ExperimentError
+from repro.experiments import (
+    default_mapping_experiments,
+    format_table,
+    render_figure14,
+    render_table2,
+    render_table3,
+    run_figure14,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.runner import build_parser, main
+from repro.programs import ghz_circuit
+
+
+FAST = AnalysisConfig(mps_width=4, sdp=SDPConfig(max_iterations=200, tolerance=1e-4))
+
+
+@pytest.fixture(scope="module")
+def small_table2():
+    return run_table2(
+        scale="reduced",
+        mps_width=4,
+        benchmarks=["QAOA_line_10", "QAOARandom20"],
+        config=FAST,
+        include_lqr=False,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_table3():
+    # shots=None compares against the exact emulated distribution, for which
+    # the bound-dominates-measured-error property holds unconditionally
+    # (finite shots add sampling noise on top, as on a real device).
+    experiments = [("GHZ-3", ghz_circuit(3), [(0, 1, 2), (1, 2, 3)])]
+    return run_table3(shots=None, experiments=experiments, config=FAST, seed=3)
+
+
+class TestTable2:
+    def test_rows_and_shape(self, small_table2):
+        assert len(small_table2.rows) == 2
+        for row in small_table2.rows:
+            assert row.gleipnir_bound <= row.worst_case_bound + 1e-9
+            assert row.gate_count > 0
+            assert row.gleipnir_seconds > 0
+
+    def test_worst_case_equals_gate_count_times_p(self, small_table2):
+        for row in small_table2.rows:
+            assert np.isclose(
+                row.worst_case_bound, row.gate_count * small_table2.bit_flip_probability, rtol=1e-6
+            )
+
+    def test_line_benchmark_is_dramatically_tighter(self, small_table2):
+        row = small_table2.row("QAOA_line_10")
+        assert row.improvement_over_worst_case > 0.5
+
+    def test_row_lookup_and_serialisation(self, small_table2):
+        assert small_table2.row("QAOARandom20").benchmark == "QAOARandom20"
+        with pytest.raises(ExperimentError):
+            small_table2.row("missing")
+        assert isinstance(small_table2.as_dicts()[0], dict)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_table2(scale="reduced", benchmarks=["nope"], include_lqr=False)
+
+    def test_lqr_included_when_requested(self):
+        result = run_table2(
+            scale="reduced",
+            mps_width=4,
+            benchmarks=["QAOA_line_10"],
+            config=FAST,
+            include_lqr=True,
+        )
+        row = result.rows[0]
+        assert row.lqr_timed_out or row.lqr_bound is not None
+
+    def test_render(self, small_table2):
+        text = render_table2(small_table2)
+        assert "QAOA_line_10" in text and "Worst case" in text
+        markdown = render_table2(small_table2, markdown=True)
+        assert markdown.count("|") > 10
+
+
+class TestFigure14:
+    def test_sweep_shape(self):
+        result = run_figure14(
+            scale="reduced", benchmark="Isingmodel45", widths=[1, 2, 4], config=FAST
+        )
+        assert result.widths() == [1, 2, 4]
+        bounds = result.bounds()
+        # Larger widths can only improve (weakly) the bound.
+        assert bounds[2] <= bounds[0] + 1e-9
+        assert all(runtime > 0 for runtime in result.runtimes())
+        text = render_figure14(result)
+        assert "MPS size" in text
+
+    def test_delta_shrinks_with_width(self):
+        result = run_figure14(
+            scale="reduced", benchmark="Isingmodel45", widths=[1, 8], config=FAST
+        )
+        assert result.points[1].final_delta <= result.points[0].final_delta + 1e-12
+
+
+class TestTable3:
+    def test_bounds_dominate_and_rank_consistently(self, small_table3):
+        assert small_table3.all_bounds_dominate()
+        assert small_table3.ranking_consistent("GHZ-3")
+
+    def test_calibration_ordering_reflected(self, small_table3):
+        rows = {row.mapping_label: row for row in small_table3.rows_for("GHZ-3")}
+        assert rows["1-2-3"].measured_error < rows["0-1-2"].measured_error
+        assert rows["1-2-3"].gleipnir_bound < rows["0-1-2"].gleipnir_bound
+
+    def test_default_experiments_shape(self):
+        experiments = default_mapping_experiments()
+        names = [name for name, _, _ in experiments]
+        assert names == ["GHZ-3", "GHZ-5"]
+        ghz5_mappings = experiments[1][2]
+        assert (2, 1, 0, 3, 4) in ghz5_mappings
+
+    def test_render(self, small_table3):
+        text = render_table3(small_table3)
+        assert "Measured error" in text
+        assert "consistent" in text
+
+
+class TestReportAndRunner:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        assert "333" in text and "-+-" in text
+
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["table2", "--scale", "reduced", "--no-lqr"])
+        assert args.command == "table2"
+        args = parser.parse_args(["figure14", "--widths", "1", "2"])
+        assert args.widths == [1, 2]
+
+    def test_main_table3_smoke(self, tmp_path, monkeypatch):
+        output = tmp_path / "report.txt"
+        # Shrink the default experiments so the CLI smoke test stays fast.
+        import repro.experiments.runner as runner_module
+
+        def tiny_table3(**kwargs):
+            return run_table3(
+                shots=256,
+                experiments=[("GHZ-3", ghz_circuit(3), [(1, 2, 3)])],
+                config=FAST,
+                seed=1,
+            )
+
+        monkeypatch.setattr(runner_module, "run_table3", tiny_table3)
+        exit_code = main(["table3", "--output", str(output)])
+        assert exit_code == 0
+        assert "GHZ-3" in output.read_text()

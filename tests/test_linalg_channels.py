@@ -1,0 +1,178 @@
+"""Unit and property tests for quantum channel representations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NoiseModelError
+from repro.linalg import (
+    CNOT,
+    HADAMARD,
+    PAULI_X,
+    QuantumChannel,
+    apply_kraus,
+    channel_difference_choi,
+    choi_is_trace_preserving,
+    choi_output_trace_map,
+    choi_to_kraus,
+    choi_to_liouville,
+    identity_channel,
+    is_cptp_kraus,
+    kraus_to_choi,
+    kraus_to_liouville,
+    liouville_to_choi,
+    maximally_mixed,
+    pure_density,
+    random_density_matrix,
+    random_unitary,
+    unitary_channel,
+    zero_state,
+)
+from repro.noise import amplitude_damping, bit_flip, depolarizing
+
+
+class TestChannelConstruction:
+    def test_unitary_channel(self):
+        channel = unitary_channel(HADAMARD)
+        out = channel(pure_density(zero_state(1)))
+        assert np.isclose(out[0, 1].real, 0.5)
+
+    def test_from_unitary_rejects_non_unitary(self):
+        with pytest.raises(NoiseModelError):
+            QuantumChannel.from_unitary(np.array([[1, 0], [0, 2]]))
+
+    def test_identity_channel(self):
+        rho = random_density_matrix(1, rng=np.random.default_rng(0))
+        assert np.allclose(identity_channel(1)(rho), rho)
+
+    def test_rejects_empty_kraus(self):
+        with pytest.raises(NoiseModelError):
+            QuantumChannel([])
+
+    def test_rejects_mismatched_kraus(self):
+        with pytest.raises(NoiseModelError):
+            QuantumChannel([np.eye(2), np.eye(4)])
+
+
+class TestRepresentations:
+    def test_choi_of_identity(self):
+        choi = identity_channel(1).choi()
+        omega = np.zeros(4, dtype=complex)
+        omega[0] = omega[3] = 1.0
+        assert np.allclose(choi, np.outer(omega, omega.conj()))
+
+    def test_choi_trace_preserving(self):
+        for channel in (bit_flip(0.3), depolarizing(0.2), amplitude_damping(0.4)):
+            assert choi_is_trace_preserving(channel.choi())
+
+    def test_choi_kraus_roundtrip(self):
+        channel = amplitude_damping(0.3)
+        rebuilt = QuantumChannel(choi_to_kraus(channel.choi()))
+        rho = random_density_matrix(1, rng=np.random.default_rng(1))
+        assert np.allclose(channel(rho), rebuilt(rho), atol=1e-9)
+
+    def test_liouville_applies_channel(self):
+        channel = bit_flip(0.25)
+        rho = random_density_matrix(1, rng=np.random.default_rng(2))
+        via_liouville = (channel.liouville() @ rho.reshape(-1)).reshape(2, 2)
+        assert np.allclose(via_liouville, channel(rho), atol=1e-10)
+
+    def test_choi_liouville_roundtrip(self):
+        channel = depolarizing(0.1)
+        choi = channel.choi()
+        assert np.allclose(liouville_to_choi(choi_to_liouville(choi)), choi, atol=1e-12)
+        assert np.allclose(choi_to_liouville(choi), kraus_to_liouville(channel.kraus), atol=1e-10)
+
+    def test_choi_output_trace_map(self):
+        reduced = choi_output_trace_map(bit_flip(0.2).choi())
+        assert np.allclose(reduced, np.eye(2), atol=1e-10)
+
+    def test_choi_to_kraus_rejects_non_square_dim(self):
+        with pytest.raises(NoiseModelError):
+            choi_to_kraus(np.eye(3))
+
+    def test_choi_to_kraus_rejects_non_psd(self):
+        with pytest.raises(NoiseModelError):
+            choi_to_kraus(np.diag([1.0, -1.0, 0.0, 0.0]))
+
+
+class TestChannelAlgebra:
+    def test_composition(self):
+        x_channel = unitary_channel(PAULI_X)
+        composed = x_channel @ x_channel
+        rho = random_density_matrix(1, rng=np.random.default_rng(3))
+        assert np.allclose(composed(rho), rho, atol=1e-10)
+
+    def test_composition_dimension_check(self):
+        with pytest.raises(NoiseModelError):
+            unitary_channel(CNOT).compose(unitary_channel(PAULI_X))
+
+    def test_tensor(self):
+        joint = bit_flip(1.0).tensor(identity_channel(1))
+        rho = pure_density(zero_state(2))
+        out = joint(rho)
+        assert np.isclose(out[2, 2].real, 1.0)
+
+    def test_embed(self):
+        flip = bit_flip(1.0).embed([1], 2)
+        out = flip(pure_density(zero_state(2)))
+        assert np.isclose(out[1, 1].real, 1.0)
+
+    def test_adjoint_unital_for_unitary(self):
+        channel = unitary_channel(HADAMARD)
+        assert np.allclose(channel.adjoint()(np.eye(2)), np.eye(2))
+
+    def test_apply_kraus_function(self):
+        rho = pure_density(zero_state(1))
+        assert np.allclose(apply_kraus([PAULI_X], rho), PAULI_X @ rho @ PAULI_X)
+
+    def test_difference_choi_is_traceless_difference(self):
+        diff = channel_difference_choi(bit_flip(0.2), identity_channel(1))
+        assert np.isclose(np.trace(diff).real, 0.0, atol=1e-10)
+
+    def test_difference_choi_dimension_check(self):
+        with pytest.raises(NoiseModelError):
+            channel_difference_choi(bit_flip(0.1), identity_channel(2))
+
+
+class TestCPTPChecks:
+    def test_is_cptp_kraus(self):
+        assert is_cptp_kraus(bit_flip(0.4).kraus)
+        assert not is_cptp_kraus([0.5 * np.eye(2)])
+
+    def test_channel_reports_cptp(self):
+        assert depolarizing(0.3).is_cptp()
+        assert unitary_channel(HADAMARD).is_unitary_channel()
+
+    def test_maximally_mixing_channel(self):
+        channel = depolarizing(1.0)
+        out = channel(pure_density(zero_state(1)))
+        # Full depolarizing with our parametrisation keeps 1/3 weight asymmetry,
+        # but the output must still be a valid state.
+        assert np.isclose(np.trace(out).real, 1.0)
+        assert np.all(np.linalg.eigvalsh(out) >= -1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2000))
+def test_random_unitary_channels_are_cptp(seed):
+    rng = np.random.default_rng(seed)
+    channel = unitary_channel(random_unitary(4, rng=rng))
+    assert channel.is_cptp()
+    assert choi_is_trace_preserving(channel.choi())
+    # Kraus -> Choi -> Kraus roundtrip preserves action.
+    rebuilt = QuantumChannel(choi_to_kraus(channel.choi()))
+    rho = random_density_matrix(2, rng=rng)
+    assert np.allclose(channel(rho), rebuilt(rho), atol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2000), p=st.floats(0.0, 1.0))
+def test_mixtures_of_channels_are_cptp(seed, p):
+    rng = np.random.default_rng(seed)
+    u = unitary_channel(random_unitary(2, rng=rng))
+    mixed_kraus = [np.sqrt(1 - p) * k for k in u.kraus] + [np.sqrt(p) * k for k in bit_flip(0.5).kraus]
+    assert is_cptp_kraus(mixed_kraus)
+    out = apply_kraus(mixed_kraus, maximally_mixed(1))
+    assert np.isclose(np.trace(out).real, 1.0, atol=1e-9)

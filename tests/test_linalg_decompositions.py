@@ -1,0 +1,101 @@
+"""Unit tests for spectral helpers (positive parts, projections, purification)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    hermitian_eig,
+    is_density_matrix,
+    matrix_sqrt,
+    min_eigenvalue,
+    nearest_density_matrix,
+    negative_part,
+    partial_trace,
+    positive_negative_split,
+    positive_part,
+    psd_projection,
+    purification,
+    random_density_matrix,
+    random_hermitian,
+    truncated_svd,
+)
+
+
+class TestPositiveParts:
+    def test_positive_part_of_psd_matrix(self):
+        rho = random_density_matrix(1, rng=np.random.default_rng(0))
+        assert np.allclose(positive_part(rho), rho, atol=1e-10)
+
+    def test_split_reconstructs(self):
+        a = random_hermitian(4, rng=np.random.default_rng(1))
+        pos, neg = positive_negative_split(a)
+        assert np.allclose(pos - neg, a, atol=1e-10)
+        assert min_eigenvalue(pos) >= -1e-10
+        assert min_eigenvalue(neg) >= -1e-10
+
+    def test_negative_part_of_negative_matrix(self):
+        assert np.allclose(negative_part(-np.eye(2)), np.eye(2))
+
+    def test_psd_projection_idempotent(self):
+        a = random_hermitian(3, rng=np.random.default_rng(2))
+        proj = psd_projection(a)
+        assert np.allclose(psd_projection(proj), proj, atol=1e-10)
+
+
+class TestNearestDensityMatrix:
+    def test_already_density(self):
+        rho = random_density_matrix(2, rng=np.random.default_rng(3))
+        assert np.allclose(nearest_density_matrix(rho), rho, atol=1e-9)
+
+    def test_projection_is_density(self):
+        a = random_hermitian(4, rng=np.random.default_rng(4))
+        projected = nearest_density_matrix(a)
+        assert is_density_matrix(projected)
+
+
+class TestSqrtAndEig:
+    def test_matrix_sqrt(self):
+        rho = random_density_matrix(2, rng=np.random.default_rng(5))
+        root = matrix_sqrt(rho)
+        assert np.allclose(root @ root, rho, atol=1e-9)
+
+    def test_hermitian_eig_orders(self):
+        vals, vecs = hermitian_eig(np.diag([3.0, 1.0]))
+        assert vals[0] <= vals[1]
+        assert vecs.shape == (2, 2)
+
+
+class TestTruncatedSVD:
+    def test_no_truncation(self):
+        mat = np.diag([3.0, 2.0, 1.0]).astype(complex)
+        u, s, vh, discarded, total = truncated_svd(mat, 3)
+        assert discarded == 0.0
+        assert np.isclose(total, 14.0)
+        assert np.allclose((u * s) @ vh, mat)
+
+    def test_truncation_weights(self):
+        mat = np.diag([2.0, 1.0]).astype(complex)
+        _, s, _, discarded, total = truncated_svd(mat, 1)
+        assert np.isclose(discarded, 1.0)
+        assert np.isclose(total, 5.0)
+        assert s.shape == (1,)
+
+
+class TestPurification:
+    def test_purification_reduces_back(self):
+        rho = random_density_matrix(1, rng=np.random.default_rng(6))
+        psi = purification(rho)
+        joint = np.outer(psi, psi.conj())
+        assert np.allclose(partial_trace(joint, [1]), rho, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2000), n=st.integers(2, 5))
+def test_positive_part_dominates(seed, n):
+    """A_+ >= A and A_+ >= 0: the property the dual certificate repair uses."""
+    a = random_hermitian(n, rng=np.random.default_rng(seed))
+    pos = positive_part(a)
+    assert min_eigenvalue(pos) >= -1e-9
+    assert min_eigenvalue(pos - a) >= -1e-9

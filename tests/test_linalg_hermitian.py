@@ -1,0 +1,70 @@
+"""Unit and property tests for the Hermitian vectorisation used by the SDP engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    hermitian_basis,
+    hermitian_dim,
+    hunvec,
+    hvec,
+    is_hvec_consistent,
+    random_hermitian,
+)
+
+
+class TestHvec:
+    def test_dimensions(self):
+        assert hermitian_dim(4) == 16
+        assert hvec(np.eye(3)).shape == (9,)
+
+    def test_roundtrip_identity(self):
+        assert np.allclose(hunvec(hvec(np.eye(2)), 2), np.eye(2))
+
+    def test_isometry_on_known_matrices(self):
+        a = np.array([[1, 1j], [-1j, 2]], dtype=complex)
+        b = np.array([[0, 2], [2, -1]], dtype=complex)
+        assert np.isclose(hvec(a) @ hvec(b), np.trace(a @ b).real)
+
+    def test_hunvec_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            hunvec(np.zeros(5), 2)
+
+    def test_consistency_helper(self):
+        assert is_hvec_consistent(random_hermitian(3, rng=np.random.default_rng(0)))
+
+
+class TestHermitianBasis:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_basis_is_orthonormal(self, n):
+        basis = hermitian_basis(n)
+        assert len(basis) == n * n
+        gram = np.array(
+            [[np.trace(a @ b).real for b in basis] for a in basis]
+        )
+        assert np.allclose(gram, np.eye(n * n), atol=1e-12)
+
+    def test_basis_elements_are_hermitian(self):
+        for element in hermitian_basis(3):
+            assert np.allclose(element, element.conj().T)
+
+    def test_basis_matches_hvec_ordering(self):
+        """hvec coefficients against the basis reproduce the matrix."""
+        rng = np.random.default_rng(5)
+        matrix = random_hermitian(3, rng=rng)
+        coefficients = hvec(matrix)
+        rebuilt = sum(c * e for c, e in zip(coefficients, hermitian_basis(3)))
+        assert np.allclose(rebuilt, matrix, atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 5000), n=st.integers(1, 5))
+def test_hvec_roundtrip_and_isometry(seed, n):
+    rng = np.random.default_rng(seed)
+    a = random_hermitian(n, rng=rng)
+    b = random_hermitian(n, rng=rng)
+    assert np.allclose(hunvec(hvec(a), n), a, atol=1e-10)
+    assert np.isclose(hvec(a) @ hvec(b), np.trace(a @ b).real, atol=1e-9)
+    assert np.isclose(np.linalg.norm(hvec(a)), np.linalg.norm(a, "fro"), atol=1e-9)

@@ -1,0 +1,96 @@
+"""Unit and property tests for partial traces and reduced density matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.linalg import (
+    ghz_state,
+    is_density_matrix,
+    maximally_mixed,
+    partial_trace,
+    partial_trace_keep,
+    permute_qubits,
+    product_density,
+    pure_density,
+    random_density_matrix,
+    random_statevector,
+    reduced_density_matrix,
+    trace_norm,
+)
+
+
+class TestPartialTrace:
+    def test_product_state_factorises(self):
+        rho = product_density("01")
+        reduced = partial_trace(rho, [0])
+        assert np.allclose(reduced, product_density("1"))
+
+    def test_ghz_reduction_is_maximally_mixed(self):
+        rho = pure_density(ghz_state(2))
+        assert np.allclose(partial_trace(rho, [1]), maximally_mixed(1))
+
+    def test_keep_order_matters(self):
+        rho = product_density("01")
+        keep_01 = partial_trace_keep(rho, [0, 1])
+        keep_10 = partial_trace_keep(rho, [1, 0])
+        assert np.allclose(keep_01, product_density("01"))
+        assert np.allclose(keep_10, product_density("10"))
+
+    def test_trace_preserved(self):
+        rho = random_density_matrix(3, rng=np.random.default_rng(0))
+        reduced = partial_trace(rho, [2])
+        assert np.isclose(np.trace(reduced).real, 1.0)
+        assert is_density_matrix(reduced)
+
+    def test_rejects_bad_qubits(self):
+        with pytest.raises(SimulationError):
+            partial_trace(maximally_mixed(2), [5])
+        with pytest.raises(SimulationError):
+            partial_trace_keep(maximally_mixed(2), [0, 0])
+
+    def test_reduced_density_matrix_alias(self):
+        rho = pure_density(ghz_state(3))
+        assert np.allclose(reduced_density_matrix(rho, [0]), maximally_mixed(1))
+
+
+class TestPermuteQubits:
+    def test_permutation_roundtrip(self):
+        rho = random_density_matrix(3, rng=np.random.default_rng(1))
+        permuted = permute_qubits(rho, [2, 0, 1])
+        # permuting back with the inverse permutation restores the original
+        restored = permute_qubits(permuted, [1, 2, 0])
+        assert np.allclose(restored, rho)
+
+    def test_identity_permutation(self):
+        rho = random_density_matrix(2, rng=np.random.default_rng(2))
+        assert np.allclose(permute_qubits(rho, [0, 1]), rho)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(SimulationError):
+            permute_qubits(maximally_mixed(2), [0, 0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_partial_trace_is_contractive(seed):
+    """Partial trace never increases trace-norm distance (used in Thm 6.1)."""
+    rng = np.random.default_rng(seed)
+    a = pure_density(random_statevector(3, rng=rng))
+    b = pure_density(random_statevector(3, rng=rng))
+    full = trace_norm(a - b)
+    reduced = trace_norm(partial_trace(a, [2]) - partial_trace(b, [2]))
+    assert reduced <= full + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_keep_then_full_consistency(seed):
+    """partial_trace and partial_trace_keep agree on the kept subsystem."""
+    rng = np.random.default_rng(seed)
+    rho = random_density_matrix(3, rng=rng)
+    keep = partial_trace_keep(rho, [0, 2])
+    drop = partial_trace(rho, [1])
+    assert np.allclose(keep, drop, atol=1e-10)

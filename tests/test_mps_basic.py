@@ -1,0 +1,123 @@
+"""Unit tests for the MPS data structure (construction, contraction, canonical form)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPSError
+from repro.linalg import ghz_state, random_statevector
+from repro.mps import MPS
+
+
+class TestConstruction:
+    def test_product_state(self):
+        mps = MPS.from_product_state("010")
+        assert mps.num_qubits == 3
+        assert np.isclose(mps.amplitude("010"), 1.0)
+        assert np.isclose(mps.norm(), 1.0)
+        assert mps.bond_dimensions() == [1, 1]
+
+    def test_zero_state(self):
+        assert np.isclose(MPS.zero_state(4).amplitude("0000"), 1.0)
+
+    def test_invalid_bits(self):
+        with pytest.raises(MPSError):
+            MPS.from_product_state("012")
+        with pytest.raises(MPSError):
+            MPS.from_product_state("")
+
+    def test_from_statevector_exact(self):
+        psi = random_statevector(4, rng=np.random.default_rng(0))
+        mps = MPS.from_statevector(psi)
+        assert np.allclose(mps.to_statevector(), psi, atol=1e-10)
+
+    def test_from_statevector_truncated(self):
+        psi = ghz_state(4)
+        mps = MPS.from_statevector(psi, max_bond=1)
+        assert mps.max_bond_dimension() == 1
+
+    def test_from_statevector_rejects_bad_length(self):
+        with pytest.raises(MPSError):
+            MPS.from_statevector(np.ones(3))
+
+    def test_shape_validation(self):
+        with pytest.raises(MPSError):
+            MPS([np.zeros((1, 3, 1))])
+        with pytest.raises(MPSError):
+            MPS([np.zeros((2, 2, 1))])
+        with pytest.raises(MPSError):
+            MPS([np.zeros((1, 2, 2)), np.zeros((3, 2, 1))])
+
+
+class TestContraction:
+    def test_norm_and_inner(self):
+        psi = random_statevector(3, rng=np.random.default_rng(1))
+        phi = random_statevector(3, rng=np.random.default_rng(2))
+        mps_psi = MPS.from_statevector(psi)
+        mps_phi = MPS.from_statevector(phi)
+        assert np.isclose(mps_psi.norm(), 1.0)
+        assert np.isclose(mps_psi.inner(mps_phi), np.vdot(psi, phi), atol=1e-10)
+
+    def test_inner_requires_same_length(self):
+        with pytest.raises(MPSError):
+            MPS.zero_state(2).inner(MPS.zero_state(3))
+
+    def test_overlap_error_formula(self):
+        a = MPS.from_statevector(ghz_state(2))
+        b = MPS.zero_state(2)
+        expected = 2 * np.sqrt(1 - 0.5)
+        assert np.isclose(a.overlap_error(b), expected)
+
+    def test_amplitudes(self):
+        mps = MPS.from_statevector(ghz_state(3))
+        assert np.isclose(abs(mps.amplitude("000")) ** 2, 0.5)
+        assert np.isclose(abs(mps.amplitude("010")) ** 2, 0.0, atol=1e-12)
+        with pytest.raises(MPSError):
+            mps.amplitude("00")
+
+    def test_normalize(self):
+        mps = MPS.from_statevector(ghz_state(2))
+        mps._tensors[0] *= 2.0  # de-normalise deliberately
+        mps.normalize()
+        assert np.isclose(mps.norm(), 1.0)
+
+
+class TestCanonicalForm:
+    def test_canonicalize_preserves_state(self):
+        psi = random_statevector(4, rng=np.random.default_rng(3))
+        mps = MPS.from_statevector(psi)
+        before = mps.to_statevector()
+        mps.canonicalize(2)
+        assert mps.center == 2
+        assert np.allclose(mps.to_statevector(), before, atol=1e-10)
+
+    def test_move_center_preserves_state(self):
+        psi = random_statevector(4, rng=np.random.default_rng(4))
+        mps = MPS.from_statevector(psi)
+        mps.canonicalize(0)
+        before = mps.to_statevector()
+        mps.move_center(3)
+        mps.move_center(1)
+        assert np.allclose(mps.to_statevector(), before, atol=1e-10)
+
+    def test_left_tensors_are_isometric_after_canonicalize(self):
+        psi = random_statevector(4, rng=np.random.default_rng(5))
+        mps = MPS.from_statevector(psi)
+        mps.canonicalize(3)
+        for site in range(3):
+            tensor = mps.tensors[site]
+            chi_l, _, chi_r = tensor.shape
+            matrix = tensor.reshape(chi_l * 2, chi_r)
+            assert np.allclose(matrix.conj().T @ matrix, np.eye(chi_r), atol=1e-10)
+
+    def test_center_bounds_checked(self):
+        with pytest.raises(MPSError):
+            MPS.zero_state(2).canonicalize(5)
+        with pytest.raises(MPSError):
+            MPS.zero_state(2).move_center(-1)
+
+    def test_copy_is_independent(self):
+        mps = MPS.zero_state(2)
+        clone = mps.copy()
+        clone.apply_single_qubit_gate(np.array([[0, 1], [1, 0]]), 0)
+        assert np.isclose(mps.amplitude("00"), 1.0)
+        assert np.isclose(clone.amplitude("10"), 1.0)

@@ -1,0 +1,116 @@
+"""Unit tests for the standard noise channels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NoiseModelError
+from repro.linalg import PAULI_X, pure_density, zero_state, plus_state
+from repro.noise import (
+    amplitude_damping,
+    bit_flip,
+    bit_phase_flip,
+    coherent_overrotation,
+    depolarizing,
+    identity_noise,
+    pauli_channel,
+    phase_damping,
+    phase_flip,
+    thermal_relaxation,
+    two_qubit_depolarizing,
+)
+
+
+class TestPauliChannels:
+    def test_bit_flip_action(self):
+        rho = pure_density(zero_state(1))
+        out = bit_flip(0.3)(rho)
+        assert np.isclose(out[0, 0].real, 0.7)
+        assert np.isclose(out[1, 1].real, 0.3)
+
+    def test_bit_flip_fixed_point(self):
+        rho = pure_density(plus_state(1))
+        assert np.allclose(bit_flip(0.4)(rho), rho, atol=1e-12)
+
+    def test_phase_flip_action(self):
+        rho = pure_density(plus_state(1))
+        out = phase_flip(0.5)(rho)
+        assert np.isclose(out[0, 1].real, 0.0, atol=1e-12)
+
+    def test_bit_phase_flip_cptp(self):
+        assert bit_phase_flip(0.2).is_cptp()
+
+    def test_probability_range_checked(self):
+        with pytest.raises(NoiseModelError):
+            bit_flip(1.5)
+        with pytest.raises(NoiseModelError):
+            depolarizing(-0.1)
+
+    def test_pauli_channel_general(self):
+        channel = pauli_channel({"X": 0.1, "Z": 0.2})
+        assert channel.is_cptp()
+        rho = pure_density(zero_state(1))
+        assert np.isclose(channel(rho)[1, 1].real, 0.1)
+
+    def test_pauli_channel_two_qubits(self):
+        channel = pauli_channel({"XX": 0.05, "ZI": 0.05})
+        assert channel.num_qubits == 2
+        assert channel.is_cptp()
+
+    def test_pauli_channel_validation(self):
+        with pytest.raises(NoiseModelError):
+            pauli_channel({})
+        with pytest.raises(NoiseModelError):
+            pauli_channel({"X": 0.7, "Z": 0.6})
+        with pytest.raises(NoiseModelError):
+            pauli_channel({"X": 0.1, "ZZ": 0.1})
+
+
+class TestDepolarizingAndDamping:
+    def test_depolarizing_cptp(self):
+        assert depolarizing(0.3).is_cptp()
+        assert two_qubit_depolarizing(0.3).is_cptp()
+
+    def test_two_qubit_depolarizing_dimension(self):
+        assert two_qubit_depolarizing(0.1).num_qubits == 2
+
+    def test_amplitude_damping_decays_excited_state(self):
+        rho = pure_density(np.array([0, 1.0]))
+        out = amplitude_damping(0.25)(rho)
+        assert np.isclose(out[0, 0].real, 0.25)
+
+    def test_phase_damping_kills_coherence(self):
+        rho = pure_density(plus_state(1))
+        out = phase_damping(1.0)(rho)
+        assert np.isclose(abs(out[0, 1]), 0.0, atol=1e-12)
+        assert np.isclose(out[0, 0].real, 0.5)
+
+    def test_identity_noise(self):
+        rho = pure_density(plus_state(1))
+        assert np.allclose(identity_noise(1)(rho), rho)
+
+
+class TestCoherentAndThermal:
+    def test_overrotation_is_unitary(self):
+        channel = coherent_overrotation("X", 0.05)
+        assert channel.is_unitary_channel()
+        assert coherent_overrotation("Z", 0.1, num_qubits=2).num_qubits == 2
+
+    def test_overrotation_axis_validation(self):
+        with pytest.raises(NoiseModelError):
+            coherent_overrotation("W", 0.1)
+
+    def test_thermal_relaxation_cptp(self):
+        channel = thermal_relaxation(50e-6, 70e-6, 100e-9)
+        assert channel.is_cptp()
+
+    def test_thermal_relaxation_validation(self):
+        with pytest.raises(NoiseModelError):
+            thermal_relaxation(10e-6, 30e-6, 1e-7)
+        with pytest.raises(NoiseModelError):
+            thermal_relaxation(-1, 1, 1)
+
+    def test_thermal_relaxation_limits(self):
+        # Long gate time relative to T1 means strong damping of |1>.
+        channel = thermal_relaxation(1.0, 1.0, 10.0)
+        rho = pure_density(np.array([0, 1.0]))
+        assert channel(rho)[0, 0].real > 0.9

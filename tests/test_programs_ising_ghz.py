@@ -1,0 +1,83 @@
+"""Tests for the Ising and GHZ benchmark generators."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, count_gates_by_name
+from repro.errors import CircuitError
+from repro.linalg import ghz_state
+from repro.programs import (
+    IsingParameters,
+    ghz_circuit,
+    ghz_star_circuit,
+    ideal_ghz_distribution,
+    ising_circuit,
+    ising_gate_count,
+    ising_trotter_step,
+)
+from repro.semantics import simulate_statevector
+
+
+class TestIsing:
+    def test_gate_count_formula(self):
+        params = IsingParameters(steps=3)
+        circuit = ising_circuit(6, params)
+        assert circuit.gate_count() == ising_gate_count(6, params)
+
+    def test_periodic_chain_has_extra_edge(self):
+        open_chain = ising_circuit(4, IsingParameters(steps=1))
+        ring = ising_circuit(4, IsingParameters(steps=1, periodic=True))
+        assert ring.gate_count() == open_chain.gate_count() + 3
+
+    def test_initial_superposition_layer(self):
+        circuit = ising_circuit(4, IsingParameters(steps=1), initial_superposition=True)
+        assert count_gates_by_name(circuit)["h"] == 4
+
+    def test_trotter_step_appends_in_place(self):
+        circuit = Circuit(3)
+        ising_trotter_step(circuit, IsingParameters(steps=1))
+        assert circuit.gate_count() == 3 * 2 + 3
+
+    def test_parameter_validation(self):
+        with pytest.raises(CircuitError):
+            IsingParameters(steps=0)
+        with pytest.raises(CircuitError):
+            IsingParameters(time_step=0.0)
+        with pytest.raises(CircuitError):
+            ising_circuit(1)
+
+    def test_zero_field_conserves_z_basis(self):
+        """With no transverse field the |0...0> state only picks up phases."""
+        params = IsingParameters(field=0.0, steps=2)
+        circuit = ising_circuit(3, params)
+        state = simulate_statevector(circuit)
+        assert np.isclose(abs(state[0]), 1.0)
+
+
+class TestGHZ:
+    def test_ladder_prepares_ghz(self):
+        for n in (2, 3, 5):
+            state = simulate_statevector(ghz_circuit(n))
+            assert np.allclose(np.abs(state), np.abs(ghz_state(n)), atol=1e-10)
+
+    def test_star_prepares_ghz(self):
+        state = simulate_statevector(ghz_star_circuit(4, root=1))
+        probabilities = np.abs(state) ** 2
+        assert np.isclose(probabilities[0], 0.5)
+        assert np.isclose(probabilities[-1], 0.5)
+
+    def test_gate_counts(self):
+        assert ghz_circuit(5).gate_count() == 5
+        assert ghz_star_circuit(5).gate_count() == 5
+
+    def test_ideal_distribution(self):
+        distribution = ideal_ghz_distribution(3)
+        assert np.isclose(distribution[0], 0.5)
+        assert np.isclose(distribution[7], 0.5)
+        assert np.isclose(distribution.sum(), 1.0)
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            ghz_circuit(1)
+        with pytest.raises(CircuitError):
+            ghz_star_circuit(3, root=5)

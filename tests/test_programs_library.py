@@ -1,0 +1,74 @@
+"""Tests for the named Table 2 benchmark suite."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.programs import benchmark_by_name, benchmark_names, table2_benchmarks
+
+
+class TestSuite:
+    def test_full_suite_matches_paper_rows(self):
+        names = benchmark_names()
+        assert names == [
+            "QAOA_line_10",
+            "Isingmodel10",
+            "QAOARandom20",
+            "QAOA4reg_20",
+            "QAOA4reg_30",
+            "Isingmodel45",
+            "QAOA50",
+            "QAOA75",
+            "QAOA100",
+        ]
+
+    def test_full_scale_qubit_counts(self):
+        expected = {
+            "QAOA_line_10": 10,
+            "Isingmodel10": 10,
+            "QAOARandom20": 20,
+            "QAOA4reg_20": 20,
+            "QAOA4reg_30": 30,
+            "Isingmodel45": 45,
+            "QAOA50": 50,
+            "QAOA75": 75,
+            "QAOA100": 100,
+        }
+        for spec in table2_benchmarks("full"):
+            assert spec.num_qubits == expected[spec.name]
+
+    def test_reduced_suite_is_smaller(self):
+        full = {spec.name: spec for spec in table2_benchmarks("full")}
+        for spec in table2_benchmarks("reduced"):
+            assert spec.num_qubits <= full[spec.name].num_qubits
+
+    def test_builders_are_deterministic(self):
+        spec = benchmark_by_name("QAOARandom20", "reduced")
+        first = spec.build()
+        second = spec.build()
+        assert [op.gate.name for op in first.operations()] == [
+            op.gate.name for op in second.operations()
+        ]
+        assert [op.qubits for op in first.operations()] == [
+            op.qubits for op in second.operations()
+        ]
+
+    def test_circuit_sizes_match_spec(self):
+        for spec in table2_benchmarks("reduced"):
+            circuit = spec.build()
+            assert circuit.num_qubits == spec.num_qubits
+            assert circuit.gate_count() > 0
+
+    def test_full_gate_counts_are_close_to_paper(self):
+        """Generated circuits land within 25% of the paper's reported counts."""
+        for spec in table2_benchmarks("full"):
+            if spec.paper_gate_count is None or spec.name == "QAOA_line_10":
+                continue
+            circuit = spec.build()
+            ratio = circuit.gate_count() / spec.paper_gate_count
+            assert 0.75 <= ratio <= 1.3, (spec.name, circuit.gate_count())
+
+    def test_unknown_name(self):
+        with pytest.raises(ExperimentError):
+            benchmark_by_name("nope")
+        with pytest.raises(ExperimentError):
+            table2_benchmarks("medium")

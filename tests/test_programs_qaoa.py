@@ -1,0 +1,106 @@
+"""Tests for the QAOA benchmark generators."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.circuits import count_gates_by_name
+from repro.errors import CircuitError
+from repro.programs import (
+    QAOAParameters,
+    line_graph,
+    maxcut_cost_value,
+    qaoa_maxcut_circuit,
+    random_graph,
+    random_regular_graph,
+    ring_graph,
+)
+from repro.semantics import StatevectorSimulator, outcome_probabilities, expectation_of_diagonal
+from repro.linalg import operator_from_function
+
+
+class TestParameters:
+    def test_single_round(self):
+        params = QAOAParameters.single_round(0.3, 0.4)
+        assert params.rounds == 1
+
+    def test_linear_ramp(self):
+        params = QAOAParameters.linear_ramp(4)
+        assert params.rounds == 4
+        assert params.gammas[0] < params.gammas[-1]
+        assert params.betas[0] > params.betas[-1]
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            QAOAParameters((0.1,), (0.2, 0.3))
+        with pytest.raises(CircuitError):
+            QAOAParameters((), ())
+        with pytest.raises(CircuitError):
+            QAOAParameters.linear_ramp(0)
+
+
+class TestGraphs:
+    def test_line_graph(self):
+        graph = line_graph(5)
+        assert graph.number_of_edges() == 4
+
+    def test_ring_graph(self):
+        assert ring_graph(6).number_of_edges() == 6
+
+    def test_random_graph_deterministic(self):
+        a = random_graph(10, 0.3, seed=4)
+        b = random_graph(10, 0.3, seed=4)
+        assert set(a.edges) == set(b.edges)
+
+    def test_regular_graph_degree(self):
+        graph = random_regular_graph(10, 4, seed=1)
+        assert all(degree == 4 for _, degree in graph.degree)
+
+
+class TestCircuitConstruction:
+    def test_gate_counts(self):
+        graph = line_graph(4)
+        circuit = qaoa_maxcut_circuit(graph, QAOAParameters.single_round(0.3, 0.2))
+        counts = count_gates_by_name(circuit)
+        assert counts["h"] == 4
+        assert counts["cx"] == 2 * graph.number_of_edges()
+        assert counts["rz"] == graph.number_of_edges()
+        assert counts["rx"] == 4
+
+    def test_no_initial_layer(self):
+        circuit = qaoa_maxcut_circuit(
+            line_graph(3), QAOAParameters.single_round(0.3, 0.2), include_initial_layer=False
+        )
+        assert "h" not in count_gates_by_name(circuit)
+
+    def test_multi_round(self):
+        circuit = qaoa_maxcut_circuit(line_graph(3), QAOAParameters.linear_ramp(3))
+        assert count_gates_by_name(circuit)["rx"] == 9
+
+    def test_vertex_labels_validated(self):
+        graph = nx.Graph()
+        graph.add_edge(1, 5)
+        with pytest.raises(CircuitError):
+            qaoa_maxcut_circuit(graph, QAOAParameters.single_round(0.1, 0.1))
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(CircuitError):
+            qaoa_maxcut_circuit(nx.Graph(), QAOAParameters.single_round(0.1, 0.1))
+
+
+class TestSemantics:
+    def test_maxcut_cost_value(self):
+        graph = line_graph(3)
+        assert maxcut_cost_value(graph, [0, 1, 0]) == 2
+        assert maxcut_cost_value(graph, [0, 0, 0]) == 0
+
+    def test_qaoa_improves_over_random_guessing(self):
+        """QAOA at sensible angles beats the uniform-random expected cut."""
+        graph = ring_graph(4)
+        params = QAOAParameters.single_round(gamma=-0.4, beta=0.35)
+        circuit = qaoa_maxcut_circuit(graph, params)
+        probs = outcome_probabilities(StatevectorSimulator().run(circuit))
+        cost_operator = operator_from_function(4, lambda bits: maxcut_cost_value(graph, bits))
+        expected_cut = expectation_of_diagonal(probs, np.real(np.diag(cost_operator)))
+        random_cut = graph.number_of_edges() / 2
+        assert expected_cut > random_cut + 0.1

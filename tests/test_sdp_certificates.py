@@ -1,0 +1,122 @@
+"""Tests for dual-certificate repair and verification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CertificationError
+from repro.linalg import min_eigenvalue, pure_density, plus_state, random_hermitian
+from repro.noise import bit_flip
+from repro.linalg import identity_channel
+from repro.sdp import (
+    DualCertificate,
+    certified_value,
+    repair_dual_candidate,
+    verify_certificate,
+)
+
+
+def _bit_flip_choi(p=0.1):
+    return bit_flip(p).choi() - identity_channel(1).choi()
+
+
+class TestRepair:
+    def test_repair_produces_feasible_point(self):
+        choi = _bit_flip_choi()
+        candidate = random_hermitian(4, rng=np.random.default_rng(0))
+        repaired = repair_dual_candidate(candidate, choi)
+        assert min_eigenvalue(repaired) >= -1e-10
+        assert min_eigenvalue(repaired - choi) >= -1e-10
+
+    def test_repair_keeps_feasible_points(self):
+        choi = _bit_flip_choi()
+        from repro.linalg import positive_part
+
+        feasible = positive_part(choi)
+        repaired = repair_dual_candidate(feasible, choi)
+        assert np.allclose(repaired, feasible, atol=1e-9)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(CertificationError):
+            repair_dual_candidate(np.eye(2), np.eye(4))
+
+
+class TestCertifiedValue:
+    def test_unconstrained_value_is_lambda_max(self):
+        choi = _bit_flip_choi(0.2)
+        from repro.linalg import positive_part
+
+        certificate = certified_value(positive_part(choi), choi)
+        assert np.isclose(certificate.value, 0.2, atol=1e-9)
+        assert certificate.y == 0.0
+
+    def test_constraint_can_only_help(self):
+        choi = _bit_flip_choi(0.2)
+        from repro.linalg import positive_part
+
+        z = positive_part(choi)
+        unconstrained = certified_value(z, choi).value
+        constrained = certified_value(
+            z,
+            choi,
+            constraint_operator=pure_density(plus_state(1)),
+            constraint_bound=1.0,
+        ).value
+        assert constrained <= unconstrained + 1e-12
+
+    def test_vacuous_constraint_ignored(self):
+        choi = _bit_flip_choi(0.2)
+        from repro.linalg import positive_part
+
+        z = positive_part(choi)
+        cert = certified_value(
+            z, choi, constraint_operator=pure_density(plus_state(1)), constraint_bound=0.0
+        )
+        assert cert.y == 0.0
+
+
+class TestVerification:
+    def test_valid_certificate_verifies(self):
+        choi = _bit_flip_choi()
+        repaired = repair_dual_candidate(np.zeros((4, 4)), choi)
+        certificate = certified_value(repaired, choi)
+        assert verify_certificate(certificate, choi)
+
+    def test_infeasible_certificate_rejected(self):
+        choi = _bit_flip_choi()
+        bogus = DualCertificate(value=0.0, z=-np.eye(4), y=0.0, constraint_operator=None, constraint_bound=0.0)
+        assert not verify_certificate(bogus, choi)
+
+    def test_understated_value_rejected(self):
+        choi = _bit_flip_choi(0.3)
+        repaired = repair_dual_candidate(np.zeros((4, 4)), choi)
+        honest = certified_value(repaired, choi)
+        lying = DualCertificate(
+            value=honest.value / 10,
+            z=honest.z,
+            y=honest.y,
+            constraint_operator=None,
+            constraint_bound=0.0,
+        )
+        assert not verify_certificate(lying, choi)
+
+    def test_negative_y_rejected(self):
+        choi = _bit_flip_choi()
+        repaired = repair_dual_candidate(np.zeros((4, 4)), choi)
+        certificate = DualCertificate(
+            value=1.0, z=repaired, y=-1.0, constraint_operator=None, constraint_bound=0.0
+        )
+        assert not verify_certificate(certificate, choi)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2000), dim=st.sampled_from([2, 4]))
+def test_repair_always_feasible(seed, dim):
+    rng = np.random.default_rng(seed)
+    candidate = random_hermitian(dim * dim, rng=rng)
+    choi = random_hermitian(dim * dim, rng=rng)
+    repaired = repair_dual_candidate(candidate, choi)
+    scale = max(1.0, np.abs(choi).max())
+    assert min_eigenvalue(repaired) >= -1e-9 * scale
+    assert min_eigenvalue(repaired - choi) >= -1e-9 * scale

@@ -1,0 +1,100 @@
+"""Tests for the standard-form SDP representation and the ADMM solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SDPError
+from repro.sdp import ADMMSolver, BlockVector, SDPProblem, solve_sdp
+
+
+def _scalar_lp_problem():
+    """min x0 + 2 x1  s.t.  x0 + x1 = 1, x >= 0 (as 1x1 PSD blocks)."""
+    objective = BlockVector([np.array([[1.0]]), np.array([[2.0]])])
+    problem = SDPProblem([1, 1], objective)
+    problem.add_constraint([np.array([[1.0]]), np.array([[1.0]])], 1.0, label="sum")
+    return problem
+
+
+def _eigenvalue_problem():
+    """min tr(C X) s.t. tr(X) = 1, X >= 0  ==> smallest eigenvalue of C."""
+    c = np.diag([3.0, 1.0, 2.0]).astype(complex)
+    problem = SDPProblem([3], BlockVector([c]))
+    problem.add_constraint([np.eye(3, dtype=complex)], 1.0, label="trace")
+    return problem, 1.0
+
+
+class TestBlockVector:
+    def test_roundtrip(self):
+        blocks = BlockVector([np.array([[1.0, 1j], [-1j, 2.0]]), np.array([[3.0]])])
+        vector = blocks.to_real()
+        rebuilt = BlockVector.from_real(vector, [2, 1])
+        assert np.allclose(rebuilt.blocks[0], blocks.blocks[0])
+        assert np.allclose(rebuilt.blocks[1], blocks.blocks[1])
+
+    def test_inner_product(self):
+        a = BlockVector([np.eye(2)])
+        b = BlockVector([np.diag([1.0, 3.0])])
+        assert np.isclose(a.inner(b), 4.0)
+
+    def test_zeros(self):
+        zeros = BlockVector.zeros([2, 3])
+        assert zeros.blocks[0].shape == (2, 2)
+        assert zeros.blocks[1].shape == (3, 3)
+
+
+class TestProblemConstruction:
+    def test_validation(self):
+        with pytest.raises(SDPError):
+            SDPProblem([2], BlockVector([np.eye(3)]))
+        with pytest.raises(SDPError):
+            SDPProblem([0], BlockVector([np.zeros((0, 0))]))
+        problem = _scalar_lp_problem()
+        with pytest.raises(SDPError):
+            problem.add_constraint([np.eye(1)], 1.0)
+        with pytest.raises(SDPError):
+            problem.add_constraint([np.eye(2), np.eye(1)], 1.0)
+
+    def test_dense_views(self):
+        problem = _scalar_lp_problem()
+        assert problem.constraint_matrix().shape == (1, 2)
+        assert problem.constraint_values().tolist() == [1.0]
+        assert problem.real_dimension == 2
+        assert problem.num_constraints == 1
+
+    def test_no_constraints_rejected_by_solver(self):
+        problem = SDPProblem([1], BlockVector([np.array([[1.0]])]))
+        with pytest.raises(SDPError):
+            ADMMSolver(problem)
+
+
+class TestADMM:
+    def test_linear_program(self):
+        result = solve_sdp(_scalar_lp_problem(), max_iterations=2000, tolerance=1e-8)
+        assert result.converged
+        assert np.isclose(result.primal_objective, 1.0, atol=1e-5)
+        assert np.isclose(result.dual_objective, 1.0, atol=1e-5)
+        assert result.x.blocks[0][0, 0].real == pytest.approx(1.0, abs=1e-4)
+
+    def test_smallest_eigenvalue_sdp(self):
+        problem, expected = _eigenvalue_problem()
+        result = solve_sdp(problem, max_iterations=3000, tolerance=1e-8)
+        assert np.isclose(result.primal_objective, expected, atol=1e-5)
+        # Optimal X is the projector onto the smallest-eigenvalue eigenvector.
+        assert result.x.blocks[0][1, 1].real == pytest.approx(1.0, abs=1e-3)
+
+    def test_duality_gap_reported(self):
+        problem, _ = _eigenvalue_problem()
+        result = solve_sdp(problem, max_iterations=2000, tolerance=1e-7)
+        assert result.duality_gap < 1e-5
+
+    def test_warm_start(self):
+        problem, _ = _eigenvalue_problem()
+        cold = solve_sdp(problem, max_iterations=1500, tolerance=1e-9)
+        warm = solve_sdp(problem, max_iterations=1500, tolerance=1e-9, warm_start=cold)
+        assert warm.iterations <= cold.iterations + 50
+
+    def test_primal_iterate_is_psd(self):
+        problem, _ = _eigenvalue_problem()
+        result = solve_sdp(problem, max_iterations=500)
+        eigenvalues = np.linalg.eigvalsh(result.x.blocks[0])
+        assert eigenvalues.min() >= -1e-9

@@ -1,0 +1,72 @@
+"""Unit tests for the denotational density-matrix semantics (Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, GateOp, IfMeasure, Skip, gate_op, seq
+from repro.circuits import gates as gate_lib
+from repro.config import ResourceGuard
+from repro.errors import ResourceLimitExceeded
+from repro.linalg import ghz_state, is_density_matrix, pure_density, basis_state
+from repro.semantics import (
+    DensityMatrixSimulator,
+    measurement_projectors,
+    simulate_density,
+    simulate_statevector,
+)
+
+
+class TestGateSemantics:
+    def test_skip_keeps_state(self):
+        rho = simulate_density(Skip(), num_qubits=1)
+        assert np.allclose(rho, pure_density(basis_state("0")))
+
+    def test_matches_statevector_for_pure_circuits(self, ghz3_circuit):
+        rho = simulate_density(ghz3_circuit)
+        psi = simulate_statevector(ghz3_circuit)
+        assert np.allclose(rho, pure_density(psi), atol=1e-10)
+
+    def test_sequence_composition(self):
+        program = seq(gate_op(gate_lib.h(), 0), gate_op(gate_lib.cx(), [0, 1]))
+        rho = simulate_density(program)
+        assert np.allclose(rho, pure_density(ghz_state(2)), atol=1e-10)
+
+    def test_initial_density(self):
+        rho0 = pure_density(basis_state("1"))
+        rho = simulate_density(Circuit(1).x(0), initial_state=rho0)
+        assert np.isclose(rho[0, 0].real, 1.0)
+
+
+class TestMeasurementSemantics:
+    def test_projectors(self):
+        m0, m1 = measurement_projectors(0, 2)
+        assert np.allclose(m0 + m1, np.eye(4))
+        assert np.allclose(m0 @ m0, m0)
+
+    def test_if_measure_mixes_branches(self):
+        # H on qubit 0, then flip qubit 1 iff qubit 0 measured 1.
+        program = seq(
+            gate_op(gate_lib.h(), 0),
+            IfMeasure(0, Skip(), gate_op(gate_lib.x(), 1)),
+        )
+        rho = simulate_density(program, num_qubits=2)
+        assert is_density_matrix(rho)
+        # Outcomes: |00> and |11> with probability 1/2 each, classically mixed.
+        assert np.isclose(rho[0, 0].real, 0.5)
+        assert np.isclose(rho[3, 3].real, 0.5)
+        assert np.isclose(abs(rho[0, 3]), 0.0, atol=1e-12)
+
+    def test_trace_preserved_through_branches(self):
+        program = seq(
+            gate_op(gate_lib.h(), 0),
+            IfMeasure(0, gate_op(gate_lib.h(), 1), gate_op(gate_lib.x(), 1)),
+        )
+        rho = simulate_density(program, num_qubits=2)
+        assert np.isclose(np.trace(rho).real, 1.0)
+
+
+class TestGuard:
+    def test_dense_guard(self):
+        simulator = DensityMatrixSimulator(ResourceGuard(max_dense_qubits=3))
+        with pytest.raises(ResourceLimitExceeded):
+            simulator.run(Circuit(6).h(5))

@@ -1,0 +1,92 @@
+"""Unit tests for measurement utilities (distributions, sampling, readout error)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.linalg import ghz_state, pure_density
+from repro.semantics import (
+    apply_readout_error,
+    expectation_of_diagonal,
+    marginal_distribution,
+    outcome_probabilities,
+    probabilities_to_dict,
+    sample_counts,
+)
+
+
+class TestProbabilities:
+    def test_from_statevector(self):
+        probs = outcome_probabilities(ghz_state(2))
+        assert np.allclose(probs, [0.5, 0, 0, 0.5])
+
+    def test_from_density_matrix(self):
+        probs = outcome_probabilities(pure_density(ghz_state(2)))
+        assert np.allclose(probs, [0.5, 0, 0, 0.5])
+
+    def test_zero_state_rejected(self):
+        with pytest.raises(SimulationError):
+            outcome_probabilities(np.zeros(4))
+
+    def test_probabilities_to_dict(self):
+        d = probabilities_to_dict(np.array([0.5, 0.0, 0.0, 0.5]))
+        assert d == {"00": 0.5, "11": 0.5}
+
+
+class TestSampling:
+    def test_counts_sum_to_shots(self):
+        counts = sample_counts(np.array([0.5, 0.5]), 100, rng=np.random.default_rng(0))
+        assert sum(counts.values()) == 100
+
+    def test_deterministic_distribution(self):
+        counts = sample_counts(np.array([1.0, 0.0]), 10, rng=np.random.default_rng(0))
+        assert counts == {"0": 10}
+
+    def test_dict_input(self):
+        counts = sample_counts({"00": 0.25, "11": 0.75}, 64, rng=np.random.default_rng(1))
+        assert set(counts) <= {"00", "11"}
+
+    def test_rejects_zero_shots(self):
+        with pytest.raises(SimulationError):
+            sample_counts(np.array([1.0]), 0)
+
+
+class TestReadoutError:
+    def test_no_error_is_identity(self):
+        probs = np.array([0.5, 0, 0, 0.5])
+        assert np.allclose(apply_readout_error(probs, [0.0, 0.0]), probs)
+
+    def test_full_flip(self):
+        probs = np.array([1.0, 0.0])
+        flipped = apply_readout_error(probs, [1.0])
+        assert np.allclose(flipped, [0.0, 1.0])
+
+    def test_preserves_normalisation(self):
+        probs = np.array([0.25, 0.25, 0.25, 0.25])
+        noisy = apply_readout_error(probs, {0: 0.1, 1: 0.05})
+        assert np.isclose(noisy.sum(), 1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(SimulationError):
+            apply_readout_error(np.array([0.5, 0.5]), [0.1, 0.1])
+
+
+class TestMarginalsAndExpectations:
+    def test_marginal_distribution(self):
+        probs = outcome_probabilities(ghz_state(3))
+        marginal = marginal_distribution(probs, [0])
+        assert np.allclose(marginal, [0.5, 0.5])
+
+    def test_marginal_order(self):
+        probs = np.zeros(4)
+        probs[1] = 1.0  # |01>
+        assert np.allclose(marginal_distribution(probs, [1, 0]), [0, 0, 1, 0])
+
+    def test_expectation_of_diagonal(self):
+        probs = np.array([0.25, 0.75])
+        values = np.array([1.0, -1.0])
+        assert np.isclose(expectation_of_diagonal(probs, values), -0.5)
+
+    def test_expectation_shape_mismatch(self):
+        with pytest.raises(SimulationError):
+            expectation_of_diagonal(np.array([1.0]), np.array([1.0, 2.0]))

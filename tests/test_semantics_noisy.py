@@ -1,0 +1,93 @@
+"""Unit tests for the noisy semantics and the exact-error oracle."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.errors import SimulationError
+from repro.linalg import pure_density, trace_distance, basis_state
+from repro.noise import NoiseModel, bit_flip
+from repro.semantics import (
+    NoisyDensityMatrixSimulator,
+    exact_program_error,
+    simulate_density,
+    simulate_noisy_density,
+)
+
+
+class TestNoisySemantics:
+    def test_noiseless_model_matches_ideal(self, ghz2_circuit):
+        noisy = simulate_noisy_density(ghz2_circuit, NoiseModel.noiseless())
+        ideal = simulate_density(ghz2_circuit)
+        assert np.allclose(noisy, ideal, atol=1e-12)
+
+    def test_full_bit_flip_on_single_gate(self):
+        circuit = Circuit(1).x(0)
+        model = NoiseModel.uniform_bit_flip(1.0)
+        rho = simulate_noisy_density(circuit, model)
+        # The gate flips |0> to |1>, then the noise flips it back with p=1.
+        assert np.isclose(rho[0, 0].real, 1.0)
+
+    def test_two_qubit_noise_on_first_operand(self):
+        circuit = Circuit(2).cx(0, 1)
+        model = NoiseModel.uniform_bit_flip(1.0)
+        rho = simulate_noisy_density(circuit, model, initial_state=basis_state("00"))
+        # CX keeps |00>; noise flips the first (control) qubit.
+        assert np.isclose(rho[2, 2].real, 1.0)
+
+    def test_probabilistic_mixture(self):
+        circuit = Circuit(1).x(0)
+        model = NoiseModel.uniform_bit_flip(0.25)
+        rho = simulate_noisy_density(circuit, model)
+        assert np.isclose(rho[3 % 2, 3 % 2].real, 0.75)
+        assert np.isclose(rho[0, 0].real, 0.25)
+
+
+class TestExactError:
+    def test_zero_for_noiseless(self, ghz3_circuit):
+        assert exact_program_error(ghz3_circuit, NoiseModel.noiseless()).__abs__() < 1e-12
+
+    def test_single_gate_error_equals_p(self):
+        circuit = Circuit(1).x(0)
+        p = 0.01
+        error = exact_program_error(circuit, NoiseModel.uniform_bit_flip(p))
+        assert np.isclose(error, p, atol=1e-10)
+
+    def test_trace_norm_convention(self):
+        circuit = Circuit(1).x(0)
+        p = 0.02
+        error = exact_program_error(
+            circuit, NoiseModel.uniform_bit_flip(p), convention="trace_norm"
+        )
+        assert np.isclose(error, 2 * p, atol=1e-10)
+
+    def test_unknown_convention(self):
+        with pytest.raises(SimulationError):
+            exact_program_error(Circuit(1).x(0), NoiseModel.noiseless(), convention="bogus")
+
+    def test_error_grows_with_gate_count(self):
+        p = 1e-3
+        model = NoiseModel.uniform_bit_flip(p)
+        short = Circuit(1).x(0)
+        longer = Circuit(1).x(0).x(0).x(0)
+        assert exact_program_error(longer, model) > exact_program_error(short, model)
+
+    def test_invisible_noise_on_plus_state(self):
+        # Bit flips after RX gates acting on |+> do not change the state.
+        circuit = Circuit(1).h(0).rx(0.4, 0)
+        model = NoiseModel.noiseless()
+        model.add_gate_rule("rx", bit_flip(0.3))
+        error = exact_program_error(circuit, model)
+        assert error < 1e-10
+
+
+class TestAgainstDirectConstruction:
+    def test_noisy_simulator_matches_manual_channel(self):
+        circuit = Circuit(2).h(0).cx(0, 1)
+        p = 0.1
+        model = NoiseModel.uniform_bit_flip(p)
+        rho = NoisyDensityMatrixSimulator(model).run(circuit)
+        # Manual: apply H, flip q0 with prob p, apply CX, flip q0 with prob p.
+        ideal = simulate_density(circuit)
+        assert np.isclose(np.trace(rho).real, 1.0)
+        assert trace_distance(rho, ideal) <= 2 * p + 1e-9

@@ -1,0 +1,79 @@
+"""Unit and property tests for the state-vector simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit
+from repro.config import ResourceGuard
+from repro.errors import ResourceLimitExceeded, SimulationError
+from repro.linalg import basis_state, embed_operator, ghz_state
+from repro.semantics import (
+    StatevectorSimulator,
+    apply_gate_to_statevector,
+    simulate_statevector,
+)
+
+from conftest import random_circuit
+
+
+class TestApplyGate:
+    def test_single_qubit_gate(self):
+        from repro.linalg import PAULI_X
+
+        out = apply_gate_to_statevector(basis_state("00"), PAULI_X, [1])
+        assert np.allclose(out, basis_state("01"))
+
+    def test_two_qubit_gate_reversed_operands(self):
+        from repro.linalg import CNOT
+
+        out = apply_gate_to_statevector(basis_state("01"), CNOT, [1, 0])
+        assert np.allclose(out, basis_state("11"))
+
+    def test_shape_mismatch(self):
+        from repro.linalg import CNOT
+
+        with pytest.raises(SimulationError):
+            apply_gate_to_statevector(basis_state("0"), CNOT, [0])
+
+
+class TestSimulator:
+    def test_ghz(self, ghz3_circuit):
+        state = simulate_statevector(ghz3_circuit)
+        assert np.allclose(state, ghz_state(3))
+
+    def test_initial_state(self):
+        circuit = Circuit(2).cx(0, 1)
+        state = simulate_statevector(circuit, initial_state=basis_state("10"))
+        assert np.allclose(state, basis_state("11"))
+
+    def test_probabilities(self, ghz2_circuit):
+        probs = StatevectorSimulator().probabilities(ghz2_circuit)
+        assert np.allclose(probs, [0.5, 0, 0, 0.5])
+
+    def test_resource_guard(self):
+        simulator = StatevectorSimulator(ResourceGuard(max_statevector_qubits=3))
+        with pytest.raises(ResourceLimitExceeded):
+            simulator.run(Circuit(5).h(4))
+
+    def test_wrong_initial_dimension(self):
+        with pytest.raises(SimulationError):
+            simulate_statevector(Circuit(2).h(0), initial_state=basis_state("0"), num_qubits=3)
+
+    def test_num_qubits_extension(self):
+        state = simulate_statevector(Circuit(1).h(0), num_qubits=2)
+        assert state.shape == (4,)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 300))
+def test_matches_dense_matrix_product(seed):
+    """The tensor-contraction simulator agrees with explicit matrix embedding."""
+    circuit = random_circuit(4, 12, seed=seed)
+    state = simulate_statevector(circuit)
+    dense = basis_state("0000")
+    for op in circuit.operations():
+        dense = embed_operator(op.gate.matrix, op.qubits, 4) @ dense
+    assert np.allclose(state, dense, atol=1e-10)
+    assert np.isclose(np.linalg.norm(state), 1.0)
