@@ -1,0 +1,45 @@
+"""Profile the 5-qubit / 65-gate reference workload (ISSUE 1 baseline)."""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+from helpers import random_circuit
+
+from repro.config import AnalysisConfig
+from repro.core.analyzer import analyze_program
+from repro.noise import NoiseModel
+
+
+def main() -> None:
+    circuit = random_circuit(5, 65, seed=7)
+    model = NoiseModel.uniform_bit_flip(1e-3)
+    config = AnalysisConfig(mps_width=16)
+
+    start = time.perf_counter()
+    result = analyze_program(circuit, model, config=config)
+    elapsed = time.perf_counter() - start
+    print(result.summary())
+    print(f"wall: {elapsed:.2f}s")
+
+    if "--profile" in sys.argv:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        analyze_program(circuit, model, config=config)
+        profiler.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(40)
+        print(stream.getvalue())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Run the perf benchmark suite and write BENCH_perf.json.
+
+Usage:
+    python scripts/run_bench.py            # measure and overwrite BENCH_perf.json
+    python scripts/run_bench.py --check    # measure, compare against the file,
+                                           # exit non-zero on a >2x regression
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import bench_perf  # noqa: E402
+
+
+def main() -> int:
+    check_only = "--check" in sys.argv
+    payload = bench_perf.collect_all()
+    scheduled = payload["phases"]["analyze_scheduled"]
+    print(
+        f"reference workload: {scheduled['seconds']:.2f}s scheduled "
+        f"({payload['phases']['analyze_sequential']['seconds']:.2f}s sequential, "
+        f"seed baseline {payload['workload']['seed_baseline_seconds']:.2f}s, "
+        f"speedup {payload['speedup_vs_seed_baseline']:.1f}x)"
+    )
+    print(
+        f"kernel microbench: {payload['kernel_microbench']['kernel_speedup']:.1f}x "
+        "batched vs per-block loop"
+    )
+
+    if check_only:
+        baseline = bench_perf.load_baseline()
+        if baseline is None:
+            print("no committed BENCH_perf.json; nothing to compare against")
+            return 0
+        current = scheduled["seconds"]
+        budget = bench_perf.regression_budget_seconds(
+            baseline, payload["phases"]["analyze_sequential"]["seconds"]
+        )
+        if current > budget:
+            print(
+                f"REGRESSION: {current:.2f}s over the machine-calibrated "
+                f"2x budget of {budget:.2f}s",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"within budget: {current:.2f}s vs calibrated budget {budget:.2f}s")
+        return 0
+
+    bench_perf.BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {bench_perf.BASELINE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,12 @@ class SDPConfig:
             predicate for the cache key.  Coarser keys give more cache hits at
             the price of slightly looser (but still sound) bounds, because the
             cached predicate distance is rounded *up*.
+        dominance_cache: let the bound cache answer a lookup with a bound
+            certified for a *weaker* predicate (same rounded ρ̂, larger δ),
+            which is sound by the Weaken rule.
+        persistent_cache_path: directory for an on-disk bound store shared
+            across runs (None disables).  Entries carry their full dual
+            certificate and are re-verified before use.
     """
 
     mode: str = "certified"
@@ -46,6 +52,8 @@ class SDPConfig:
     tolerance: float = 3e-6
     cache: bool = True
     cache_decimals: int = 6
+    dominance_cache: bool = True
+    persistent_cache_path: str | None = None
 
     def validate(self) -> None:
         if self.mode not in ("certified", "fast", "auto"):
@@ -102,6 +110,15 @@ class AnalysisConfig:
             judgments); disable for very large sweeps to save memory.
         noise_after_gate: whether the noisy gate is modelled as
             ``noise ∘ U`` (True, default) or ``U ∘ noise``.
+        scheduler: run the program-level bound scheduler — a pre-pass that
+            collects every quantised (gate, noise, ρ̂, δ) instance of the
+            program, dedupes them into unique solve classes, and solves the
+            unique set with the batched SDP kernel before the derivation is
+            replayed from the solved table.  Requires the SDP cache; ignored
+            when ``sdp.cache`` is off.
+        scheduler_workers: worker threads for the scheduler's solve phase
+            (1 = solve the whole batch in one vectorised run; >1 additionally
+            splits the batch across a thread pool).
     """
 
     mps_width: int = DEFAULT_MPS_WIDTH
@@ -109,10 +126,14 @@ class AnalysisConfig:
     guard: ResourceGuard = dataclasses.field(default_factory=ResourceGuard)
     collect_derivation: bool = True
     noise_after_gate: bool = True
+    scheduler: bool = True
+    scheduler_workers: int = 1
 
     def validate(self) -> None:
         if self.mps_width < 1:
             raise ValueError("mps_width must be at least 1")
+        if self.scheduler_workers < 1:
+            raise ValueError("scheduler_workers must be at least 1")
         self.sdp.validate()
 
     def replace(self, **kwargs) -> "AnalysisConfig":

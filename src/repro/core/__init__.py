@@ -12,6 +12,7 @@ from .rules import (
     weaken_rule,
 )
 from .analyzer import AnalysisResult, GleipnirAnalyzer, analyze_program
+from .scheduler import BoundScheduler, SchedulerReport, SolveClass
 from .baselines import (
     BaselineOutcome,
     exact_error,

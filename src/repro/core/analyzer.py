@@ -34,7 +34,33 @@ from .judgment import Judgment
 from .predicate import trivial_local_predicate
 from .rules import absorb_continuations, gate_rule, meas_rule, seq_rule, skip_rule
 
-__all__ = ["AnalysisResult", "GleipnirAnalyzer", "analyze_program"]
+__all__ = [
+    "AnalysisResult",
+    "GleipnirAnalyzer",
+    "analyze_program",
+    "vacuous_branch_approximator",
+]
+
+
+def vacuous_branch_approximator(
+    branch: Program, qubit: int, outcome: int, width: int
+) -> MPSApproximator:
+    """Fresh approximator for a measurement branch deemed unreachable.
+
+    Start from the collapsed basis state and immediately weaken the distance
+    bound to the maximum (δ = 2), so every gate bound inside the branch
+    reduces to the unconstrained diamond norm.  This keeps the Meas rule
+    sound without knowing the collapsed state.  Shared by the analyzer and
+    the bound scheduler, whose pre-pass must reproduce exactly the
+    predicates the replay will request.
+    """
+    used = branch.qubits_used() | {qubit}
+    num_qubits = max((max(used) + 1) if used else 1, qubit + 1)
+    bits = [0] * num_qubits
+    bits[qubit] = outcome
+    fresh = MPSApproximator.from_product_state(bits, width=width)
+    fresh.weaken_to(trivial_local_predicate(1).delta)  # vacuous predicate
+    return fresh
 
 
 @dataclasses.dataclass
@@ -52,6 +78,10 @@ class AnalysisResult:
         sdp_solves / sdp_cache_hits: SDP workload statistics.
         mps_width: bond dimension used by the approximator.
         noise_model: name of the noise model.
+        sdp_dominance_hits: lookups answered by a dominating (weaker)
+            cached predicate instead of a fresh solve.
+        scheduled_solves: unique solve classes the bound scheduler solved
+            up front (0 when the scheduler is disabled).
     """
 
     error_bound: float
@@ -65,6 +95,8 @@ class AnalysisResult:
     mps_width: int
     noise_model: str
     program_name: str = ""
+    sdp_dominance_hits: int = 0
+    scheduled_solves: int = 0
 
     def gate_contributions(self) -> list[GateContribution]:
         if self.derivation is None:
@@ -87,7 +119,11 @@ class GleipnirAnalyzer:
         self.noise_model = noise_model
         self.config = config or AnalysisConfig()
         self.config.validate()
-        self._cache = GateBoundCache(decimals=self.config.sdp.cache_decimals)
+        self._cache = GateBoundCache(
+            decimals=self.config.sdp.cache_decimals,
+            dominance=self.config.sdp.dominance_cache,
+            store_path=self.config.sdp.persistent_cache_path,
+        )
 
     # -- public API -----------------------------------------------------------
     def analyze(
@@ -128,6 +164,19 @@ class GleipnirAnalyzer:
             self._cache.clear()
         solves_before = self._cache.misses
         hits_before = self._cache.hits
+        dominance_before = self._cache.dominance_hits
+
+        scheduled_solves = 0
+        if self.config.scheduler and self.config.sdp.cache:
+            # Program-level pre-pass: collect every quantised solve class,
+            # dedupe, and batch-solve the unique set before the derivation
+            # replay below — which then hits the cache for every gate.
+            from .scheduler import BoundScheduler
+
+            scheduler = BoundScheduler(
+                self.noise_model, self._cache, self.config, gate_key=self._gate_key
+            )
+            scheduled_solves = scheduler.prefill(normalised, bits).num_solved
 
         self._num_gates = 0
         self._num_branches = 1
@@ -154,6 +203,8 @@ class GleipnirAnalyzer:
             mps_width=self.config.mps_width,
             noise_model=self.noise_model.name,
             program_name=name,
+            sdp_dominance_hits=self._cache.dominance_hits - dominance_before,
+            scheduled_solves=scheduled_solves,
         )
 
     @property
@@ -183,14 +234,8 @@ class GleipnirAnalyzer:
         if noise_channel is not None:
             predicate = approximator.local_predicate(op.qubits)
             rho_local = predicate.rho_local
-            key = (
-                op.gate.key(),
-                self.noise_model.name,
-                noise_channel.name,
-                tuple(op.qubits) if self._noise_is_position_dependent() else (),
-            )
             bound = self._cache.lookup_or_compute(
-                key,
+                self._gate_key(op, noise_channel),
                 op.gate.matrix,
                 noise_channel,
                 predicate.rho_local,
@@ -209,6 +254,19 @@ class GleipnirAnalyzer:
             rho_local=rho_local,
             truncation_added=truncation_added,
             noise_model=self.noise_model.name,
+        )
+
+    def _gate_key(self, op: GateOp, noise_channel) -> tuple:
+        """The structural part of the SDP cache key for one gate application.
+
+        Shared with the bound scheduler so the pre-pass populates exactly the
+        keys the replay pass looks up.
+        """
+        return (
+            op.gate.key(),
+            self.noise_model.name,
+            noise_channel.name,
+            tuple(op.qubits) if self._noise_is_position_dependent() else (),
         )
 
     def _noise_is_position_dependent(self) -> bool:
@@ -253,25 +311,12 @@ class GleipnirAnalyzer:
     def _analyze_unreachable_branch(
         self, branch: Program, qubit: int, outcome: int
     ) -> DerivationNode:
-        """Bound a branch the approximation considers unreachable.
-
-        We use the vacuous predicate (δ = 2): start a fresh approximator from
-        the collapsed basis state and immediately weaken its distance to the
-        maximum, so every gate bound inside reduces to the unconstrained
-        diamond norm.  This keeps the Meas rule sound without knowing the
-        collapsed state.
-        """
-        num_qubits = max(self._register_size_hint(branch, qubit), qubit + 1)
-        bits = [0] * num_qubits
-        bits[qubit] = outcome
-        fresh = MPSApproximator.from_product_state(bits, width=self.config.mps_width)
-        fresh.weaken_to(trivial_local_predicate(1).delta)  # vacuous predicate
+        """Bound a branch the approximation considers unreachable under the
+        vacuous predicate (see :func:`vacuous_branch_approximator`)."""
+        fresh = vacuous_branch_approximator(
+            branch, qubit, outcome, self.config.mps_width
+        )
         return self._analyze_node(branch, fresh)
-
-    @staticmethod
-    def _register_size_hint(branch: Program, qubit: int) -> int:
-        used = branch.qubits_used() | {qubit}
-        return (max(used) + 1) if used else 1
 
 
 def analyze_program(

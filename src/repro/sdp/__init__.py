@@ -2,6 +2,14 @@
 
 from .problem import BlockVector, Constraint, SDPProblem
 from .admm import ADMMResult, ADMMSolver, solve_sdp
+from .kernel import (
+    BlockLayout,
+    PackedADMMResult,
+    PackedSDP,
+    admm_solve_packed,
+    admm_solve_packed_batch,
+    get_layout,
+)
 from .certificates import (
     DualCertificate,
     certified_value,
@@ -13,8 +21,10 @@ from .diamond import (
     GateBoundCache,
     build_constrained_diamond_sdp,
     constrained_diamond_norm,
+    constrained_diamond_norms_batch,
     diamond_distance,
     gate_error_bound,
+    gate_error_bounds_batch,
     q_lambda_diamond_norm,
     rho_delta_constraint_bound,
     rho_delta_diamond_norm,

@@ -12,6 +12,10 @@ Each iteration solves a small linear system in ``y`` (the normal matrix
 ``A A*`` is factorised once), projects onto the PSD cone per block to obtain
 ``S``, and updates the primal multiplier ``X`` — which is PSD by construction.
 
+The iteration itself lives in :func:`repro.sdp.kernel.admm_solve_packed`,
+which operates on flat packed-real vectors with batched PSD projections;
+this module provides the object-level view over :class:`SDPProblem`.
+
 The solver is *not* trusted for soundness: whatever it returns is passed to
 :mod:`repro.sdp.certificates`, which repairs the dual candidate into an
 exactly feasible point and reports the corresponding (weak-duality) upper
@@ -23,10 +27,9 @@ from __future__ import annotations
 import dataclasses
 
 import numpy as np
-import scipy.linalg
 
 from ..errors import SDPError
-from ..linalg.decompositions import positive_part
+from .kernel import PackedSDP, admm_solve_packed, get_layout
 from .problem import BlockVector, SDPProblem
 
 __all__ = ["ADMMResult", "ADMMSolver", "solve_sdp"]
@@ -53,16 +56,6 @@ class ADMMResult:
         )
 
 
-def _project_blocks(blocks: BlockVector) -> BlockVector:
-    projected = []
-    for block in blocks.blocks:
-        if block.shape == (1, 1):
-            projected.append(np.array([[max(0.0, block[0, 0].real)]], dtype=np.complex128))
-        else:
-            projected.append(positive_part(block))
-    return BlockVector(projected)
-
-
 class ADMMSolver:
     """Reusable ADMM solver (keeps the factorised normal matrix)."""
 
@@ -82,23 +75,13 @@ class ADMMSolver:
         self.tolerance = float(tolerance)
         self.mu = float(mu)
         self.adapt_mu = bool(adapt_mu)
-
-        self._a = problem.constraint_matrix()
-        self._b = problem.constraint_values()
-        self._c = problem.objective_vector()
-        normal = self._a @ self._a.T
-        # Tiny ridge guards against numerically dependent constraints.
-        ridge = 1e-12 * max(1.0, float(np.trace(normal)) / normal.shape[0])
-        self._normal_factor = scipy.linalg.cho_factor(
-            normal + ridge * np.eye(normal.shape[0])
+        self._layout = get_layout(problem.block_dims)
+        self._packed = PackedSDP.assemble(
+            problem.constraint_matrix(),
+            problem.constraint_values(),
+            problem.objective_vector(),
+            self._layout,
         )
-
-    # -- linear operator helpers ------------------------------------------------
-    def _apply_a(self, x: np.ndarray) -> np.ndarray:
-        return self._a @ x
-
-    def _apply_at(self, y: np.ndarray) -> np.ndarray:
-        return self._a.T @ y
 
     def solve(
         self,
@@ -108,80 +91,26 @@ class ADMMSolver:
         s0: BlockVector | None = None,
     ) -> ADMMResult:
         """Run ADMM, optionally warm-starting from a previous solution."""
-        dims = self.problem.block_dims
-        x_vec = (x0.to_real() if x0 is not None else np.zeros(self.problem.real_dimension))
-        s_vec = (s0.to_real() if s0 is not None else np.zeros(self.problem.real_dimension))
-        y = y0.copy() if y0 is not None else np.zeros(self.problem.num_constraints)
-
-        mu = self.mu
-        b_scale = 1.0 + np.linalg.norm(self._b)
-        c_scale = 1.0 + np.linalg.norm(self._c)
-
-        primal_residual = np.inf
-        dual_residual = np.inf
-        iteration = 0
-        converged = False
-        check_every = 20
-        plateau_checks = 0
-        previous_dual = -np.inf
-
-        for iteration in range(1, self.max_iterations + 1):
-            # y-update: (A A*) y = mu * (b - A(X)) + A(C - S)
-            rhs = mu * (self._b - self._apply_a(x_vec)) + self._apply_a(self._c - s_vec)
-            y = scipy.linalg.cho_solve(self._normal_factor, rhs)
-
-            # S-update: project V = C - A*(y) - mu X onto the PSD cone.
-            v_vec = self._c - self._apply_at(y) - mu * x_vec
-            v_blocks = self.problem.split(v_vec)
-            s_blocks = _project_blocks(v_blocks)
-            s_vec = s_blocks.to_real()
-
-            # X-update: X = (S - V) / mu  (automatically PSD).
-            x_vec = (s_vec - v_vec) / mu
-
-            if iteration % check_every == 0 or iteration == self.max_iterations:
-                primal_residual = np.linalg.norm(self._apply_a(x_vec) - self._b) / b_scale
-                dual_residual = (
-                    np.linalg.norm(self._apply_at(y) + s_vec - self._c) / c_scale
-                )
-                gap = abs(float(self._c @ x_vec) - float(self._b @ y)) / (
-                    1.0 + abs(float(self._c @ x_vec)) + abs(float(self._b @ y))
-                )
-                if max(primal_residual, dual_residual, gap) < self.tolerance:
-                    converged = True
-                    break
-                # Plateau detection: the caller only needs a good dual
-                # candidate (the bound is certified separately), so give up
-                # once the dual objective stops moving.
-                dual_objective = float(self._b @ y)
-                if abs(dual_objective - previous_dual) < 0.02 * self.tolerance * (
-                    1.0 + abs(dual_objective)
-                ):
-                    plateau_checks += 1
-                    if plateau_checks >= 5:
-                        break
-                else:
-                    plateau_checks = 0
-                previous_dual = dual_objective
-                if self.adapt_mu and iteration % 60 == 0:
-                    # Balance the residuals by rescaling the penalty parameter.
-                    if primal_residual > 10 * dual_residual:
-                        mu = min(mu * 1.5, 1e6)
-                    elif dual_residual > 10 * primal_residual:
-                        mu = max(mu / 1.5, 1e-6)
-
-        x_blocks = self.problem.split(x_vec)
-        s_blocks = self.problem.split(s_vec)
+        raw = admm_solve_packed(
+            self._packed,
+            max_iterations=self.max_iterations,
+            tolerance=self.tolerance,
+            mu=self.mu,
+            adapt_mu=self.adapt_mu,
+            x0=x0.to_real() if x0 is not None else None,
+            y0=y0,
+            s0=s0.to_real() if s0 is not None else None,
+        )
         return ADMMResult(
-            x=x_blocks,
-            y=y,
-            s=s_blocks,
-            primal_objective=float(self._c @ x_vec),
-            dual_objective=float(self._b @ y),
-            primal_residual=float(primal_residual),
-            dual_residual=float(dual_residual),
-            iterations=iteration,
-            converged=converged,
+            x=self.problem.split(raw.x_vec),
+            y=raw.y,
+            s=self.problem.split(raw.s_vec),
+            primal_objective=raw.primal_objective,
+            dual_objective=raw.dual_objective,
+            primal_residual=raw.primal_residual,
+            dual_residual=raw.dual_residual,
+            iterations=raw.iterations,
+            converged=raw.converged,
         )
 
 

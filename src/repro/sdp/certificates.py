@@ -118,13 +118,21 @@ def certified_value(
         return DualCertificate(value, z, 0.0, None, float(constraint_bound))
 
     operator = np.asarray(constraint_operator, dtype=np.complex128)
+    operator = (operator + operator.conj().T) / 2
+
+    # Tr_out(Z) is independent of y; hoist it out of the scalar search so each
+    # evaluation is a small matrix add plus one eigvalsh.
+    reduced = choi_output_trace_map(z)
+    reduced = (reduced + reduced.conj().T) / 2
 
     def objective(y: float) -> float:
-        return _dual_objective(z, max(0.0, y), operator, constraint_bound)
+        y = max(0.0, y)
+        eigenvalues = np.linalg.eigvalsh(reduced + y * operator)
+        return float(eigenvalues.max() - y * constraint_bound)
 
     # The useful range of y scales like lambda_max(Tr_out z) / c; search a
     # generous bracket around it (g is convex, so golden-section is safe).
-    base = _dual_objective(z, 0.0, None, 0.0)
+    base = float(np.linalg.eigvalsh(reduced).max())
     upper = 10.0 * (base / constraint_bound + 1.0)
     candidates = [0.0]
     if y_hint is not None and y_hint > 0:

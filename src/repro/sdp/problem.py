@@ -22,7 +22,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..errors import SDPError
-from ..linalg.hermitian import hunvec, hvec
+from .kernel import get_layout
 
 __all__ = ["BlockVector", "SDPProblem", "Constraint"]
 
@@ -39,17 +39,18 @@ class BlockVector:
 
     def to_real(self) -> np.ndarray:
         """Concatenated isometric real vectorisation of all blocks."""
-        return np.concatenate([hvec(b) for b in self.blocks])
+        layout = get_layout([b.shape[0] for b in self.blocks])
+        return layout.pack_blocks(self.blocks)
 
     @classmethod
     def from_real(cls, vector: np.ndarray, dims: Sequence[int]) -> "BlockVector":
-        blocks = []
-        offset = 0
-        for d in dims:
-            size = d * d
-            blocks.append(hunvec(vector[offset : offset + size], d))
-            offset += size
-        return cls(blocks)
+        layout = get_layout(dims)
+        if np.asarray(vector).size != layout.total_real_dim:
+            raise SDPError(
+                f"expected a vector of length {layout.total_real_dim}, "
+                f"got {np.asarray(vector).size}"
+            )
+        return cls(layout.unpack_blocks(np.asarray(vector, dtype=float)))
 
     def inner(self, other: "BlockVector") -> float:
         """Real trace inner product ``sum_k tr(A_k B_k)``."""

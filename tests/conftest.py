@@ -7,12 +7,19 @@ valid at any solver accuracy, which keeps the suite quick.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
-from repro.circuits import Circuit
-from repro.config import AnalysisConfig, ResourceGuard, SDPConfig
-from repro.noise import NoiseModel
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from helpers import random_circuit  # noqa: E402
+
+from repro.circuits import Circuit  # noqa: E402
+from repro.config import AnalysisConfig, ResourceGuard, SDPConfig  # noqa: E402
+from repro.noise import NoiseModel  # noqa: E402
 
 
 @pytest.fixture
@@ -45,24 +52,6 @@ def ghz2_circuit() -> Circuit:
 @pytest.fixture
 def ghz3_circuit() -> Circuit:
     return Circuit(3, name="ghz3").h(0).cx(0, 1).cx(1, 2)
-
-
-def random_circuit(num_qubits: int, num_gates: int, seed: int = 0) -> Circuit:
-    """A random 1q/2q circuit used by several property tests."""
-    rng = np.random.default_rng(seed)
-    circuit = Circuit(num_qubits, name=f"random_{num_qubits}_{num_gates}")
-    for _ in range(num_gates):
-        kind = rng.integers(0, 4)
-        if kind == 0:
-            circuit.rx(float(rng.uniform(0, 2 * np.pi)), int(rng.integers(0, num_qubits)))
-        elif kind == 1:
-            circuit.rz(float(rng.uniform(0, 2 * np.pi)), int(rng.integers(0, num_qubits)))
-        elif kind == 2:
-            circuit.h(int(rng.integers(0, num_qubits)))
-        else:
-            a, b = rng.choice(num_qubits, size=2, replace=False)
-            circuit.cx(int(a), int(b))
-    return circuit
 
 
 @pytest.fixture

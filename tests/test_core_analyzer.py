@@ -12,7 +12,7 @@ from repro.errors import LogicError
 from repro.noise import NoiseModel, depolarizing
 from repro.semantics import exact_program_error
 
-from conftest import random_circuit
+from helpers import random_circuit
 
 
 FAST = AnalysisConfig(mps_width=8, sdp=SDPConfig(max_iterations=300, tolerance=1e-5))
@@ -56,7 +56,10 @@ class TestAnalyzerBasics:
         circuit = Circuit(4).h_layer()
         result = GleipnirAnalyzer(bit_flip_model, FAST).analyze(circuit)
         assert result.sdp_solves == 1
-        assert result.sdp_cache_hits == 3
+        # The scheduler pre-solves the one unique class, so all four gate
+        # applications are answered from the cache during the replay.
+        assert result.sdp_cache_hits == 4
+        assert result.scheduled_solves == 1
 
     def test_bound_never_exceeds_worst_case(self, bit_flip_model):
         circuit = random_circuit(4, 12, seed=3)

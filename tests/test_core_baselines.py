@@ -13,7 +13,7 @@ from repro.core import (
 )
 from repro.noise import NoiseModel
 
-from conftest import random_circuit
+from helpers import random_circuit
 
 
 FAST = AnalysisConfig(

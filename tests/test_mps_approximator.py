@@ -11,7 +11,7 @@ from repro.linalg import ghz_state, pure_density, trace_norm_distance
 from repro.mps import MPSApproximator, approximate_program
 from repro.semantics import simulate_density, simulate_statevector
 
-from conftest import random_circuit
+from helpers import random_circuit
 
 
 class TestBasics:

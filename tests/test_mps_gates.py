@@ -11,7 +11,7 @@ from repro.linalg import CNOT, HADAMARD, PAULI_X, SWAP, ghz_state, pure_density,
 from repro.mps import MPS, split_theta, TruncationInfo
 from repro.semantics import simulate_statevector
 
-from conftest import random_circuit
+from helpers import random_circuit
 
 
 class TestSingleQubitGates:

@@ -17,7 +17,7 @@ from repro.linalg import (
 from repro.mps import MPS
 from repro.semantics import simulate_statevector
 
-from conftest import random_circuit
+from helpers import random_circuit
 
 
 class TestReducedDensityMatrices:

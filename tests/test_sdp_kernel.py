@@ -1,0 +1,230 @@
+"""Tests for the vectorized packed-real SDP kernel (repro.sdp.kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.config import SDPConfig
+from repro.linalg import identity_channel, maximally_mixed, pure_density, plus_state
+from repro.linalg.decompositions import positive_part
+from repro.linalg.hermitian import hunvec, hvec, random_hermitian
+from repro.noise import amplitude_damping, bit_flip, depolarizing
+from repro.sdp import (
+    ADMMSolver,
+    BlockVector,
+    SDPProblem,
+    admm_solve_packed,
+    admm_solve_packed_batch,
+    constrained_diamond_norm,
+    constrained_diamond_norms_batch,
+    get_layout,
+    verify_certificate,
+)
+from repro.sdp.diamond import _get_template, build_constrained_diamond_sdp
+from repro.sdp.kernel import BlockLayout
+
+
+DIMS_CASES = [(2,), (1,), (3, 1), (4, 4, 2, 1), (2, 3, 2, 1, 1, 5)]
+
+
+class TestBlockLayout:
+    @pytest.mark.parametrize("dims", DIMS_CASES)
+    def test_pack_matches_hvec(self, dims, rng):
+        """The packed-real embedding is exactly the concatenated hvec map."""
+        blocks = [random_hermitian(d, rng=rng) for d in dims]
+        layout = get_layout(dims)
+        packed = layout.pack_blocks(blocks)
+        reference = np.concatenate([hvec(b) for b in blocks])
+        assert np.array_equal(packed, reference) or np.allclose(
+            packed, reference, atol=0, rtol=0
+        )
+
+    @pytest.mark.parametrize("dims", DIMS_CASES)
+    def test_roundtrip_exact(self, dims, rng):
+        """pack → unpack reproduces Hermitian input to machine precision.
+
+        Diagonals survive bit-exactly; off-diagonals pass through the sqrt(2)
+        isometry scaling, which costs at most a couple of ulps.
+        """
+        blocks = [random_hermitian(d, rng=rng) for d in dims]
+        layout = get_layout(dims)
+        rebuilt = layout.unpack_blocks(layout.pack_blocks(blocks))
+        for original, back in zip(blocks, rebuilt):
+            assert np.allclose(back, original, atol=1e-15, rtol=1e-15)
+            assert np.array_equal(np.diagonal(back), np.diagonal(original).real)
+
+    @pytest.mark.parametrize("dims", DIMS_CASES)
+    def test_unpack_matches_hunvec(self, dims, rng):
+        layout = get_layout(dims)
+        vector = rng.normal(size=layout.total_real_dim)
+        blocks = layout.unpack_blocks(vector)
+        offset = 0
+        for d, block in zip(dims, blocks):
+            assert np.allclose(block, hunvec(vector[offset : offset + d * d], d))
+            offset += d * d
+
+    @pytest.mark.parametrize("dims", DIMS_CASES)
+    def test_project_psd_matches_positive_part(self, dims, rng):
+        """The fused batched projection equals per-block positive_part."""
+        layout = get_layout(dims)
+        vector = rng.normal(size=layout.total_real_dim)
+        projected = layout.unpack_blocks(layout.project_psd(vector))
+        for block, reference_input in zip(projected, layout.unpack_blocks(vector)):
+            if reference_input.shape == (1, 1):
+                expected = np.array([[max(0.0, reference_input[0, 0].real)]])
+            else:
+                expected = positive_part(reference_input)
+            assert np.allclose(block, expected, atol=1e-12)
+
+    def test_project_psd_batched_leading_dims(self, rng):
+        """A stacked (K, n) input projects each row independently."""
+        layout = get_layout((3, 2, 1))
+        stacked = rng.normal(size=(5, layout.total_real_dim))
+        batched = layout.project_psd(stacked)
+        for row in range(5):
+            assert np.allclose(batched[row], layout.project_psd(stacked[row]))
+
+    def test_inner_product_preserved(self, rng):
+        """The packed embedding is an isometry for the trace inner product."""
+        dims = (3, 2)
+        a = BlockVector([random_hermitian(d, rng=rng) for d in dims])
+        b = BlockVector([random_hermitian(d, rng=rng) for d in dims])
+        assert np.isclose(a.to_real() @ b.to_real(), a.inner(b), atol=1e-10)
+
+    def test_layout_cache_identity(self):
+        assert get_layout((4, 4, 2, 1)) is get_layout([4, 4, 2, 1])
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            BlockLayout((0, 2))
+
+
+class TestBatchedADMM:
+    def _problems(self):
+        requests = []
+        for p in (1e-3, 3e-3, 7e-3):
+            requests.append(
+                (
+                    bit_flip(p).choi() - identity_channel(1).choi(),
+                    pure_density(plus_state(1)),
+                    0.9,
+                )
+            )
+            requests.append(
+                (
+                    depolarizing(p).choi() - identity_channel(1).choi(),
+                    maximally_mixed(1),
+                    0.4,
+                )
+            )
+            requests.append(
+                (amplitude_damping(p).choi() - identity_channel(1).choi(), None, 0.0)
+            )
+        return requests
+
+    def test_batch_matches_single_solves(self):
+        """Lock-step batch results equal one-at-a-time solves."""
+        config = SDPConfig(max_iterations=800, tolerance=1e-6)
+        requests = self._problems()
+        batch = constrained_diamond_norms_batch(requests, config=config)
+        for (choi, operator, bound_c), batched in zip(requests, batch):
+            single = constrained_diamond_norm(
+                choi,
+                constraint_operator=operator,
+                constraint_bound=bound_c,
+                config=config,
+            )
+            assert batched.value == pytest.approx(single.value, abs=1e-9)
+            assert batched.iterations == single.iterations
+            assert verify_certificate(batched.certificate, batched.choi)
+
+    def test_batch_mixed_shapes(self):
+        """Constrained and unconstrained requests group into separate runs."""
+        config = SDPConfig(max_iterations=400, tolerance=1e-5)
+        requests = self._problems()
+        bounds = constrained_diamond_norms_batch(requests, config=config)
+        assert all(b.value >= 0 for b in bounds)
+        assert all(b.method == "certified" for b in bounds)
+
+    def test_batch_empty(self):
+        assert constrained_diamond_norms_batch([]) == []
+        assert admm_solve_packed_batch([]) == []
+
+    def test_batch_rejects_mixed_layouts(self):
+        template_1q = _get_template(4, True)
+        template_1q_free = _get_template(4, False)
+        rho = maximally_mixed(1)
+        choi = bit_flip(0.01).choi() - identity_channel(1).choi()
+        constrained = template_1q.instantiate(choi, rho, 0.4)
+        unconstrained = template_1q_free.instantiate(choi, None, 0.0)
+        with pytest.raises(ValueError):
+            admm_solve_packed_batch([constrained, unconstrained])
+
+    def test_zero_choi_in_batch(self):
+        bounds = constrained_diamond_norms_batch([(np.zeros((4, 4)), None, 0.0)])
+        assert bounds[0].value == 0.0
+        assert bounds[0].method == "exact-zero"
+
+
+class TestTemplates:
+    @pytest.mark.parametrize("use_constraint", [False, True])
+    def test_template_matches_explicit_assembly(self, use_constraint):
+        """The template's packed problem equals the explicitly built SDP."""
+        choi = bit_flip(0.02).choi() - identity_channel(1).choi()
+        choi = (choi + choi.conj().T) / 2
+        operator = maximally_mixed(1) if use_constraint else None
+        bound_c = 0.45 if use_constraint else 0.0
+
+        problem = build_constrained_diamond_sdp(choi, operator, bound_c)
+        template = _get_template(choi.shape[0], use_constraint)
+        packed = template.instantiate(choi, operator, bound_c)
+
+        assert np.allclose(packed.a, problem.constraint_matrix(), atol=1e-12)
+        assert np.allclose(packed.b, problem.constraint_values(), atol=1e-12)
+        assert np.allclose(packed.c, problem.objective_vector(), atol=1e-12)
+
+    def test_mismatched_operator_shape_rejected(self):
+        """The template path keeps the explicit builder's shape validation."""
+        from repro.errors import SDPError
+
+        choi = bit_flip(0.02).choi() - identity_channel(1).choi()
+        with pytest.raises(SDPError):
+            constrained_diamond_norm(
+                choi,
+                constraint_operator=np.eye(3),
+                constraint_bound=0.5,
+                config=SDPConfig(max_iterations=100, tolerance=1e-4),
+            )
+
+    def test_template_factor_solves_normal_system(self):
+        """The rank-one-updated Cholesky factor inverts A A* correctly."""
+        import scipy.linalg
+
+        choi = depolarizing(0.01).choi() - identity_channel(1).choi()
+        operator = pure_density(plus_state(1))
+        template = _get_template(4, True)
+        packed = template.instantiate((choi + choi.conj().T) / 2, operator, 0.8)
+        normal = packed.a @ packed.a.T
+        rhs = np.arange(1.0, normal.shape[0] + 1)
+        solved = scipy.linalg.cho_solve(packed.factor, rhs)
+        assert np.allclose(normal @ solved, rhs, atol=1e-6)
+
+    def test_packed_solver_agrees_with_object_solver(self):
+        """admm_solve_packed and ADMMSolver produce the same iterates."""
+        c = np.diag([3.0, 1.0, 2.0]).astype(complex)
+        problem = SDPProblem([3], BlockVector([c]))
+        problem.add_constraint([np.eye(3, dtype=complex)], 1.0, label="trace")
+        object_result = ADMMSolver(
+            problem, max_iterations=2000, tolerance=1e-8
+        ).solve()
+        from repro.sdp import PackedSDP
+
+        packed = PackedSDP.assemble(
+            problem.constraint_matrix(),
+            problem.constraint_values(),
+            problem.objective_vector(),
+            get_layout(problem.block_dims),
+        )
+        raw = admm_solve_packed(packed, max_iterations=2000, tolerance=1e-8)
+        assert raw.iterations == object_result.iterations
+        assert np.isclose(raw.primal_objective, object_result.primal_objective)
+        assert np.isclose(raw.dual_objective, object_result.dual_objective)

@@ -15,7 +15,7 @@ from repro.semantics import (
     simulate_statevector,
 )
 
-from conftest import random_circuit
+from helpers import random_circuit
 
 
 class TestApplyGate:
