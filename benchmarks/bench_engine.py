@@ -1,0 +1,228 @@
+"""Performance benchmark for the analysis engine (ISSUE 2 reference workload).
+
+The **reference multi-program workload** is a serving trace over the reduced
+Table 2 suite: every benchmark program is submitted ``DUPLICATES_FACTOR``
+times, the way repeated user traffic re-requests the same analyses.  The
+engine is measured on three axes:
+
+* **throughput** — jobs/minute at 1, 2, and 4 workers (content-addressed
+  dedupe means each unique analysis is paid for once per batch);
+* **vs the pre-engine baseline** — the same trace analysed one submission at
+  a time with no dedupe, the way ``run_table2`` worked before the engine;
+* **warm persistent cache** — the Table 2 reduced sweep cold versus re-run
+  against the shared on-disk bound store (``--cache-dir``), which must keep
+  bounds bit-identical while eliminating every SDP solve.
+
+``scripts/run_bench.py --engine`` writes the result to ``BENCH_engine.json``
+at the repository root (``--warm`` refreshes just the warm-cache section).
+Throughput scaling across workers is hardware-bound: on a single-core
+container the 1/2/4-worker rows measure dispatch overhead, not parallelism,
+which is why ``environment.cpu_count`` is part of the payload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (REPO_ROOT / "src", REPO_ROOT / "tests"):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from repro.config import AnalysisConfig, DEFAULT_BIT_FLIP_PROBABILITY  # noqa: E402
+from repro.engine.pool import AnalysisEngine, execute_job  # noqa: E402
+from repro.engine.spec import AnalysisJob  # noqa: E402
+from repro.noise import NoiseModel  # noqa: E402
+from repro.programs.library import table2_benchmarks  # noqa: E402
+
+BASELINE_PATH = REPO_ROOT / "BENCH_engine.json"
+
+#: How often each unique program appears in the serving trace.
+DUPLICATES_FACTOR = 3
+#: MPS width of the workload (matches the reduced Table 2 default).
+WORKLOAD_MPS_WIDTH = 16
+WORKER_COUNTS = (1, 2, 4)
+
+
+def unique_jobs(*, benchmarks: list[str] | None = None) -> list[AnalysisJob]:
+    """One job per reduced Table 2 benchmark (optionally a named subset)."""
+    model = NoiseModel.uniform_bit_flip(DEFAULT_BIT_FLIP_PROBABILITY)
+    config = AnalysisConfig(mps_width=WORKLOAD_MPS_WIDTH)
+    specs = table2_benchmarks("reduced")
+    if benchmarks is not None:
+        specs = [spec for spec in specs if spec.name in set(benchmarks)]
+    return [
+        AnalysisJob.from_circuit(spec.build(), model, config=config, name=spec.name)
+        for spec in specs
+    ]
+
+
+def reference_trace(jobs: list[AnalysisJob]) -> list[AnalysisJob]:
+    """The serving trace: every job submitted ``DUPLICATES_FACTOR`` times."""
+    return jobs * DUPLICATES_FACTOR
+
+
+def measure_sequential_baseline(trace: list[AnalysisJob]) -> dict:
+    """The pre-engine path: analyse every submission, no dedupe, no sharing."""
+    start = time.perf_counter()
+    results = [execute_job(job) for job in trace]
+    seconds = time.perf_counter() - start
+    assert all(result.ok for result in results)
+    return {
+        "seconds": seconds,
+        "jobs_per_minute": 60.0 * len(trace) / seconds,
+        "analyses_executed": len(trace),
+    }
+
+
+def measure_engine(trace: list[AnalysisJob], *, workers: int) -> dict:
+    """One engine batch over the trace (fresh engine, no store, no disk cache)."""
+    engine = AnalysisEngine(workers=workers)
+    start = time.perf_counter()
+    report = engine.run(trace)
+    seconds = time.perf_counter() - start
+    assert report.ok
+    return {
+        "workers": workers,
+        "seconds": seconds,
+        "jobs_per_minute": 60.0 * len(trace) / seconds,
+        "analyses_executed": report.executed,
+        "deduplicated_submissions": report.deduplicated,
+        "bounds": [result.error_bound for result in report.results],
+    }
+
+
+def measure_warm_cache(jobs: list[AnalysisJob], *, workers: int = 1) -> dict:
+    """Cold vs warm sweep against a shared persistent bound cache."""
+    with tempfile.TemporaryDirectory(prefix="bench-engine-cache-") as tmp:
+        cache_dir = os.path.join(tmp, "bounds")
+        cold_engine = AnalysisEngine(workers=workers, cache_dir=cache_dir)
+        start = time.perf_counter()
+        cold = cold_engine.run(jobs)
+        cold_seconds = time.perf_counter() - start
+
+        warm_engine = AnalysisEngine(workers=workers, cache_dir=cache_dir)
+        start = time.perf_counter()
+        warm = warm_engine.run(jobs)
+        warm_seconds = time.perf_counter() - start
+    assert cold.ok and warm.ok
+    return {
+        "workers": workers,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup_warm_vs_cold": cold_seconds / warm_seconds,
+        "bit_identical": [r.error_bound for r in cold.results]
+        == [r.error_bound for r in warm.results],
+        "sdp_solves_cold": sum(r.sdp_solves for r in cold.results),
+        "sdp_solves_warm": sum(r.sdp_solves for r in warm.results),
+    }
+
+
+def _environment() -> dict:
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def collect_all() -> dict:
+    """The full BENCH_engine.json payload."""
+    jobs = unique_jobs()
+    trace = reference_trace(jobs)
+    sequential = measure_sequential_baseline(trace)
+    engine_runs = {f"workers_{n}": measure_engine(trace, workers=n) for n in WORKER_COUNTS}
+
+    sequential_unique_bounds = None
+    four = engine_runs.get("workers_4")
+    if four is not None:
+        # bit-identity check: the engine's bounds vs the no-engine baseline
+        direct = [execute_job(job) for job in jobs]
+        sequential_unique_bounds = [result.error_bound for result in direct]
+        assert four["bounds"] == sequential_unique_bounds * DUPLICATES_FACTOR
+
+    payload = {
+        "workload": {
+            "description": (
+                "serving trace over the reduced Table 2 suite: "
+                f"{len(jobs)} unique programs x {DUPLICATES_FACTOR} submissions, "
+                f"uniform bit-flip {DEFAULT_BIT_FLIP_PROBABILITY:g}, "
+                f"MPS width {WORKLOAD_MPS_WIDTH}, certified SDP mode"
+            ),
+            "unique_programs": len(jobs),
+            "duplicates_factor": DUPLICATES_FACTOR,
+            "submissions": len(trace),
+            "mps_width": WORKLOAD_MPS_WIDTH,
+        },
+        "environment": _environment(),
+        "sequential_baseline": sequential,
+        "engine": {
+            key: {k: v for k, v in run.items() if k != "bounds"}
+            for key, run in engine_runs.items()
+        },
+        "speedup_at_4_workers_vs_sequential": (
+            sequential["seconds"] / engine_runs["workers_4"]["seconds"]
+        ),
+        "bounds_bit_identical_at_4_workers": four["bounds"][: len(jobs)]
+        == sequential_unique_bounds,
+        "warm_cache_table2_reduced": measure_warm_cache(jobs),
+    }
+    return payload
+
+
+def collect_warm_only() -> dict:
+    """Just the warm-cache section (``scripts/run_bench.py --warm``)."""
+    return measure_warm_cache(unique_jobs())
+
+
+def load_baseline() -> dict | None:
+    if not BASELINE_PATH.exists():
+        return None
+    try:
+        payload = json.loads(BASELINE_PATH.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload or None
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (smoke-sized; used by CI)
+# ---------------------------------------------------------------------------
+
+SMOKE_BENCHMARKS = ["QAOA_line_10", "Isingmodel10", "QAOARandom20"]
+
+
+def test_engine_sweep_smoke():
+    """A 2-worker sweep of three small programs matches the inline engine."""
+    jobs = unique_jobs(benchmarks=SMOKE_BENCHMARKS)
+    assert len(jobs) == 3
+    trace = jobs * 2
+    inline = AnalysisEngine(workers=1).run(trace)
+    sharded = AnalysisEngine(workers=2).run(trace)
+    assert inline.ok and sharded.ok
+    assert sharded.executed == 3 and sharded.deduplicated == 3
+    assert [r.error_bound for r in sharded.results] == [
+        r.error_bound for r in inline.results
+    ]
+
+
+def test_warm_cache_smoke():
+    """A warm re-run answers everything from disk with identical bounds."""
+    jobs = unique_jobs(benchmarks=SMOKE_BENCHMARKS[:1])
+    warm = measure_warm_cache(jobs)
+    assert warm["bit_identical"]
+    assert warm["sdp_solves_warm"] == 0
+    assert warm["sdp_solves_cold"] > 0
+
+
+if __name__ == "__main__":
+    print(json.dumps(collect_all(), indent=2))

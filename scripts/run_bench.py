@@ -1,9 +1,17 @@
-"""Run the perf benchmark suite and write BENCH_perf.json.
+"""Run the benchmark suites and write BENCH_perf.json / BENCH_engine.json.
 
 Usage:
     python scripts/run_bench.py            # measure and overwrite BENCH_perf.json
     python scripts/run_bench.py --check    # measure, compare against the file,
                                            # exit non-zero on a >2x regression
+    python scripts/run_bench.py --engine   # measure the analysis engine and
+                                           # overwrite BENCH_engine.json
+    python scripts/run_bench.py --warm     # warm-cache mode: pre-populate the
+                                           # persistent bound cache via the
+                                           # engine and report cold vs warm
+                                           # timings for the Table 2 reduced
+                                           # suite (refreshes the warm_cache
+                                           # section of BENCH_engine.json)
 """
 
 from __future__ import annotations
@@ -15,11 +23,11 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
+import bench_engine  # noqa: E402
 import bench_perf  # noqa: E402
 
 
-def main() -> int:
-    check_only = "--check" in sys.argv
+def run_perf(check_only: bool) -> int:
     payload = bench_perf.collect_all()
     scheduled = payload["phases"]["analyze_scheduled"]
     print(
@@ -55,6 +63,66 @@ def main() -> int:
     bench_perf.BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {bench_perf.BASELINE_PATH}")
     return 0
+
+
+def run_engine() -> int:
+    payload = bench_engine.collect_all()
+    sequential = payload["sequential_baseline"]
+    print(
+        f"serving trace ({payload['workload']['submissions']} submissions, "
+        f"{payload['workload']['unique_programs']} unique): "
+        f"sequential baseline {sequential['seconds']:.2f}s "
+        f"({sequential['jobs_per_minute']:.1f} jobs/min)"
+    )
+    for key, run in payload["engine"].items():
+        print(
+            f"  engine {key}: {run['seconds']:.2f}s "
+            f"({run['jobs_per_minute']:.1f} jobs/min, "
+            f"{run['analyses_executed']} analyses for "
+            f"{run['deduplicated_submissions']} deduped submissions)"
+        )
+    print(
+        f"speedup at 4 workers vs sequential: "
+        f"{payload['speedup_at_4_workers_vs_sequential']:.2f}x "
+        f"(bit-identical bounds: {payload['bounds_bit_identical_at_4_workers']})"
+    )
+    warm = payload["warm_cache_table2_reduced"]
+    print(
+        f"warm cache (table2 reduced): cold {warm['cold_seconds']:.2f}s -> "
+        f"warm {warm['warm_seconds']:.2f}s ({warm['speedup_warm_vs_cold']:.2f}x, "
+        f"{warm['sdp_solves_warm']} warm solves)"
+    )
+    bench_engine.BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {bench_engine.BASELINE_PATH}")
+    return 0
+
+
+def run_warm() -> int:
+    warm = bench_engine.collect_warm_only()
+    print(
+        f"warm cache (table2 reduced): cold {warm['cold_seconds']:.2f}s -> "
+        f"warm {warm['warm_seconds']:.2f}s ({warm['speedup_warm_vs_cold']:.2f}x)"
+    )
+    print(
+        f"bit-identical bounds: {warm['bit_identical']}; "
+        f"SDP solves cold={warm['sdp_solves_cold']} warm={warm['sdp_solves_warm']}"
+    )
+    if not warm["bit_identical"]:
+        print("WARM CACHE CHANGED BOUNDS — this is a bug", file=sys.stderr)
+        return 1
+    baseline = bench_engine.load_baseline() or {}
+    baseline["warm_cache_table2_reduced"] = warm
+    bench_engine.BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"updated warm_cache_table2_reduced in {bench_engine.BASELINE_PATH}")
+    return 0
+
+
+def main() -> int:
+    if "--engine" in sys.argv:
+        return run_engine()
+    if "--warm" in sys.argv:
+        return run_warm()
+    return run_perf("--check" in sys.argv)
 
 
 if __name__ == "__main__":

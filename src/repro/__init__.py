@@ -18,6 +18,13 @@ from .core import (
     lqr_full_simulation_bound,
     worst_case_bound,
 )
+from .engine import (
+    AnalysisEngine,
+    AnalysisJob,
+    AnalysisService,
+    JobResult,
+    ResultStore,
+)
 from .mps import MPS, MPSApproximator, approximate_program
 from .sdp import (
     DiamondNormBound,
@@ -31,6 +38,7 @@ from .errors import (
     CircuitError,
     DerivationCheckError,
     DeviceError,
+    EngineError,
     ExperimentError,
     GateError,
     LogicError,
@@ -56,6 +64,11 @@ __all__ = [
     "exact_error",
     "lqr_full_simulation_bound",
     "worst_case_bound",
+    "AnalysisEngine",
+    "AnalysisJob",
+    "AnalysisService",
+    "JobResult",
+    "ResultStore",
     "MPS",
     "MPSApproximator",
     "approximate_program",
@@ -76,5 +89,6 @@ __all__ = [
     "LogicError",
     "DerivationCheckError",
     "DeviceError",
+    "EngineError",
     "ExperimentError",
 ]

@@ -30,6 +30,12 @@ from .gates import (
 from .program import GateOp, IfMeasure, Program, Seq, Skip, gate_op, seq
 from .circuit import Circuit
 from .parser import dumps, loads, parse_circuit, serialize_circuit
+from .serialize import (
+    gate_from_json_dict,
+    gate_to_json_dict,
+    program_from_json_dict,
+    program_to_json_dict,
+)
 from .dag import CircuitDAG, circuit_depth, circuit_moments
 from .drawer import draw_circuit
 from .transforms import (

@@ -137,7 +137,16 @@ class AnalysisConfig:
         self.sdp.validate()
 
     def replace(self, **kwargs) -> "AnalysisConfig":
-        """Return a copy of this configuration with some fields replaced."""
+        """Return a copy of this configuration with some fields replaced.
+
+        Nested dataclasses (``sdp``, ``guard``) are deep-copied unless an
+        explicit replacement is supplied, so mutating one copy (as the
+        analysis engine does for per-worker cache paths) never leaks into
+        the original configuration.
+        """
+        for field in ("sdp", "guard"):
+            if field not in kwargs:
+                kwargs[field] = dataclasses.replace(getattr(self, field))
         return dataclasses.replace(self, **kwargs)
 
 

@@ -1,0 +1,295 @@
+"""The process-pool analysis engine.
+
+:class:`AnalysisEngine` turns a batch of :class:`~repro.engine.spec.AnalysisJob`
+values into :class:`~repro.engine.spec.JobResult` records:
+
+* **dedupe** — identical jobs (same fingerprint) are executed once and share
+  one result, so a serving workload with repeated submissions pays for each
+  unique analysis once;
+* **resume** — with a :class:`~repro.engine.store.ResultStore` attached,
+  fingerprints that already completed successfully are answered from the
+  store and only the missing jobs run;
+* **sharding** — the pending jobs are fanned out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`; jobs travel as canonical
+  JSON, so the worker exercises exactly the serialization path remote
+  submissions use;
+* **shared bound cache** — when ``cache_dir`` is set, every worker points its
+  :class:`~repro.sdp.diamond.GateBoundCache` at the same on-disk store
+  (``SDPConfig.persistent_cache_path``), so bounds certified by one worker
+  warm all the others (and later runs);
+* **budgets and isolation** — each job runs under its own
+  :class:`~repro.config.ResourceGuard` wall-clock budget
+  (``guard.max_seconds``, enforced with a POSIX interval timer), and any
+  exception — budget, solver failure, or worker crash — is captured as a
+  ``timeout``/``error`` result for that job alone; the rest of the sweep
+  continues.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import os
+import signal
+import threading
+import time
+from collections.abc import Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+from ..config import AnalysisConfig
+from ..core.analyzer import analyze_program
+from ..errors import ResourceLimitExceeded
+from .spec import AnalysisJob, JobResult
+from .store import ResultStore
+
+__all__ = ["AnalysisEngine", "BatchReport", "execute_job"]
+
+
+@contextlib.contextmanager
+def _wall_clock_budget(seconds: float | None):
+    """Raise :class:`ResourceLimitExceeded` after ``seconds`` of wall clock.
+
+    Uses ``signal.setitimer``, which only works on POSIX main threads; in any
+    other context (Windows, service batcher threads) the budget degrades to
+    unenforced rather than failing the job.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise ResourceLimitExceeded(
+            f"analysis exceeded its wall-clock budget of {seconds:g}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _prepared_config(job: AnalysisJob, cache_dir: str | None) -> AnalysisConfig:
+    """The execution config: a deep copy with engine-level overrides applied.
+
+    Derivation trees are never collected (results must stay flat and
+    picklable), and the shared persistent bound cache is attached when the
+    engine has one.  Neither override is part of the job fingerprint.
+    """
+    config = job.config.replace(collect_derivation=False)
+    if cache_dir is not None:
+        config.sdp.persistent_cache_path = str(cache_dir)
+    return config
+
+
+def execute_job(
+    job: AnalysisJob, *, cache_dir: str | None = None, fingerprint: str | None = None
+) -> JobResult:
+    """Run one job to a :class:`JobResult`, capturing failures as statuses.
+
+    ``fingerprint`` lets callers that already addressed the job (the engine
+    computes it once per batch) skip the full canonical re-serialization a
+    fresh :meth:`AnalysisJob.fingerprint` call would pay.
+    """
+    if fingerprint is None:
+        fingerprint = job.fingerprint()
+    config = _prepared_config(job, cache_dir)
+    start = time.perf_counter()
+    try:
+        with _wall_clock_budget(config.guard.max_seconds):
+            analysis = analyze_program(
+                job.program,
+                job.noise_model,
+                config=config,
+                initial_bits=job.initial_bits,
+                num_qubits=job.num_qubits,
+                program_name=job.name,
+            )
+    except ResourceLimitExceeded as exc:
+        return JobResult(
+            fingerprint=fingerprint,
+            name=job.name,
+            status="timeout",
+            elapsed_seconds=time.perf_counter() - start,
+            error=str(exc),
+        )
+    except Exception as exc:
+        return JobResult(
+            fingerprint=fingerprint,
+            name=job.name,
+            status="error",
+            elapsed_seconds=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    return JobResult(
+        fingerprint=fingerprint,
+        name=job.name,
+        status="ok",
+        error_bound=analysis.error_bound,
+        final_delta=analysis.final_delta,
+        num_gates=analysis.num_gates,
+        num_branches=analysis.num_branches,
+        elapsed_seconds=analysis.elapsed_seconds,
+        sdp_solves=analysis.sdp_solves,
+        sdp_cache_hits=analysis.sdp_cache_hits,
+        sdp_dominance_hits=analysis.sdp_dominance_hits,
+        scheduled_solves=analysis.scheduled_solves,
+        mps_width=analysis.mps_width,
+        noise_model=analysis.noise_model,
+    )
+
+
+def _execute_payload(payload: str, cache_dir: str | None, fingerprint: str) -> dict:
+    """Worker entry point: canonical JSON in, flat result dict out."""
+    job = AnalysisJob.from_json(payload)
+    return execute_job(job, cache_dir=cache_dir, fingerprint=fingerprint).to_json_dict()
+
+
+@dataclasses.dataclass
+class BatchReport:
+    """Outcome of one engine batch.
+
+    ``results`` is aligned with the submitted job list (duplicates share the
+    same :class:`JobResult` object); the counters describe how much work the
+    engine actually did versus answered from dedupe and the store.
+    """
+
+    results: list[JobResult]
+    executed: int
+    resumed: int
+    deduplicated: int
+    elapsed_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def failures(self) -> list[JobResult]:
+        return [result for result in self.results if not result.ok]
+
+
+class AnalysisEngine:
+    """Executes analysis job batches with dedupe, resume, and worker sharding.
+
+    Args:
+        workers: process-pool size; 1 executes inline (no subprocess), which
+            is also the deterministic fallback used by tests.
+        store: a :class:`ResultStore`, a path to create one at, or None.
+            Every executed result is appended to the store; with
+            ``resume=True`` completed fingerprints are not re-executed.
+        cache_dir: directory of the shared on-disk gate-bound cache handed to
+            every worker (None disables sharing).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        store: ResultStore | str | None = None,
+        cache_dir: str | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = int(workers)
+        self.store = ResultStore(store) if isinstance(store, (str, os.PathLike)) else store
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            os.makedirs(self.cache_dir, exist_ok=True)
+
+    def run(self, jobs: Sequence[AnalysisJob], *, resume: bool = False) -> BatchReport:
+        """Execute a batch and return results aligned with ``jobs``."""
+        start = time.perf_counter()
+        fingerprints = [job.fingerprint() for job in jobs]
+        unique: dict[str, AnalysisJob] = {}
+        for fingerprint, job in zip(fingerprints, jobs):
+            unique.setdefault(fingerprint, job)
+
+        results: dict[str, JobResult] = {}
+        resumed = 0
+        if resume and self.store is not None:
+            for fingerprint in unique:
+                if self.store.completed(fingerprint):
+                    results[fingerprint] = self.store.get(fingerprint)
+                    resumed += 1
+
+        pending = [
+            (fingerprint, job)
+            for fingerprint, job in unique.items()
+            if fingerprint not in results
+        ]
+        if pending:
+            if self.workers == 1:
+                executed = self._run_inline(pending, results)
+            else:
+                executed = self._run_pool(pending, results)
+        else:
+            executed = 0
+
+        return BatchReport(
+            results=[results[fingerprint] for fingerprint in fingerprints],
+            executed=executed,
+            resumed=resumed,
+            deduplicated=len(jobs) - len(unique),
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    # -- execution backends ------------------------------------------------
+    def _record(self, results: dict[str, JobResult], fingerprint: str, result: JobResult) -> None:
+        results[fingerprint] = result
+        if self.store is not None:
+            self.store.put(result)
+
+    def _run_inline(
+        self, pending: list[tuple[str, AnalysisJob]], results: dict[str, JobResult]
+    ) -> int:
+        for fingerprint, job in pending:
+            self._record(
+                results,
+                fingerprint,
+                execute_job(job, cache_dir=self.cache_dir, fingerprint=fingerprint),
+            )
+        return len(pending)
+
+    def _run_pool(
+        self, pending: list[tuple[str, AnalysisJob]], results: dict[str, JobResult]
+    ) -> int:
+        """Shard pending jobs over a process pool with per-job failure capture.
+
+        Jobs are submitted as canonical JSON and results come back as flat
+        dicts, so nothing model-specific needs to pickle.  A worker crash
+        (OOM kill, segfault) breaks the pool; the affected jobs are recorded
+        as ``error`` results and the sweep still returns.
+        """
+        max_workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(
+                    _execute_payload, job.to_json(), self.cache_dir, fingerprint
+                ): fingerprint
+                for fingerprint, job in pending
+            }
+            names = {fingerprint: job.name for fingerprint, job in pending}
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    fingerprint = futures[future]
+                    try:
+                        result = JobResult.from_json_dict(future.result())
+                    except Exception as exc:
+                        result = JobResult(
+                            fingerprint=fingerprint,
+                            name=names[fingerprint],
+                            status="error",
+                            error=f"worker failed: {type(exc).__name__}: {exc}",
+                        )
+                    self._record(results, fingerprint, result)
+        return len(pending)

@@ -1,0 +1,323 @@
+"""The serving front-end: submit analysis jobs over HTTP, poll by fingerprint.
+
+Installed as ``gleipnir-serve`` (see pyproject.toml)::
+
+    gleipnir-serve --port 8780 --workers 4 --store results.jsonl --cache-dir .cache/bounds
+
+API (JSON over stdlib HTTP, no extra dependencies):
+
+* ``POST /jobs`` — body is one job payload (see
+  :meth:`repro.engine.spec.AnalysisJob.to_json_dict`) or ``{"jobs": [...]}``.
+  Returns 202 with ``{"jobs": [{"fingerprint", "name", "status"}, ...]}``.
+  Submissions are *coalesced*: a batcher thread collects everything that
+  arrives within ``batch_window`` seconds (up to ``max_batch``) and hands it
+  to the engine as one batch, so concurrent clients share dedupe and the
+  warm bound cache.
+* ``GET /jobs/<fingerprint>`` — ``{"fingerprint", "name", "status",
+  "result"}`` where ``status`` is ``queued | running | done | failed`` and
+  ``result`` is the flat :class:`~repro.engine.spec.JobResult` dict once
+  finished.
+* ``GET /healthz`` — liveness plus queue statistics.
+
+Duplicate submissions (same fingerprint) — including re-submissions of jobs
+already completed in the attached result store — are answered without
+re-execution; the fingerprint in the response is the handle for polling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import queue
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import ReproError
+from .pool import AnalysisEngine
+from .spec import AnalysisJob
+from .store import ResultStore
+
+__all__ = ["AnalysisService", "make_server", "main"]
+
+
+class AnalysisService:
+    """Coalesces job submissions into engine batches; tracks status by fingerprint."""
+
+    def __init__(
+        self,
+        engine: AnalysisEngine,
+        *,
+        batch_window: float = 0.05,
+        max_batch: int = 32,
+        max_tracked: int = 4096,
+    ):
+        self.engine = engine
+        self.batch_window = float(batch_window)
+        self.max_batch = int(max_batch)
+        #: In-memory status entries kept before finished ones are evicted
+        #: (oldest first); evicted fingerprints are still answerable from the
+        #: attached result store, so a long-running server stays bounded.
+        self.max_tracked = int(max_tracked)
+        self._queue: queue.Queue[tuple[str, AnalysisJob]] = queue.Queue()
+        self._status: dict[str, dict] = {}
+        self._lock = threading.Lock()
+        self._running = False
+        self._thread: threading.Thread | None = None
+        self.batches_run = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._thread = threading.Thread(target=self._loop, name="engine-batcher", daemon=True)
+        self._thread.start()
+
+    def stop(self, *, timeout: float = 10.0) -> None:
+        self._running = False
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    # -- submission --------------------------------------------------------
+    def submit_payload(self, payload: dict) -> dict:
+        """Validate one job payload and enqueue it; returns its status entry.
+
+        Raises :class:`~repro.errors.EngineError` (or another
+        :class:`~repro.errors.ReproError`) on malformed payloads — the HTTP
+        layer maps those to a 400 response.
+        """
+        return self.submit_job(AnalysisJob.from_json_dict(payload))
+
+    def submit_payloads(self, payloads: list[dict]) -> list[dict]:
+        """Validate *every* payload before enqueuing *any* (all-or-nothing).
+
+        A 400 response for a batch must mean nothing from that batch runs;
+        validating lazily would execute the leading valid jobs and then
+        reject the request.
+        """
+        jobs = [AnalysisJob.from_json_dict(payload) for payload in payloads]
+        return [self.submit_job(job) for job in jobs]
+
+    def submit_job(self, job: AnalysisJob) -> dict:
+        """Enqueue an already-validated job; returns its status entry."""
+        fingerprint = job.fingerprint()
+        with self._lock:
+            entry = self._status.get(fingerprint)
+            if entry is not None and entry["status"] in ("queued", "running", "done"):
+                return dict(entry)
+            store = self.engine.store
+            if store is not None and store.completed(fingerprint):
+                entry = self._track(
+                    self._entry(fingerprint, job.name, "done", store.get(fingerprint))
+                )
+                return dict(entry)
+            entry = self._track(self._entry(fingerprint, job.name, "queued", None))
+        self._queue.put((fingerprint, job))
+        return dict(entry)
+
+    def _track(self, entry: dict) -> dict:
+        """Insert a status entry, evicting the oldest finished ones over the cap.
+
+        Callers hold ``self._lock``.  Only ``done``/``failed`` entries are
+        evicted (they remain answerable from the result store); in-flight
+        entries are never dropped.
+        """
+        self._status[entry["fingerprint"]] = entry
+        if len(self._status) > self.max_tracked:
+            for fingerprint, tracked in list(self._status.items()):
+                if len(self._status) <= self.max_tracked:
+                    break
+                if tracked["status"] in ("done", "failed"):
+                    del self._status[fingerprint]
+        return entry
+
+    @staticmethod
+    def _entry(fingerprint: str, name: str, status: str, result) -> dict:
+        return {
+            "fingerprint": fingerprint,
+            "name": name,
+            "status": status,
+            "result": result.to_json_dict() if result is not None else None,
+        }
+
+    # -- queries -----------------------------------------------------------
+    def status(self, fingerprint: str) -> dict | None:
+        with self._lock:
+            entry = self._status.get(fingerprint)
+            if entry is not None:
+                return dict(entry)
+        # Evicted (or never-submitted-here) fingerprints: the result store
+        # still answers for anything that finished.
+        store = self.engine.store
+        if store is not None:
+            result = store.get(fingerprint)
+            if result is not None:
+                return self._entry(
+                    fingerprint, result.name, "done" if result.ok else "failed", result
+                )
+        return None
+
+    def stats(self) -> dict:
+        with self._lock:
+            counts: dict[str, int] = {}
+            for entry in self._status.values():
+                counts[entry["status"]] = counts.get(entry["status"], 0) + 1
+        return {
+            "status": "ok",
+            "jobs": counts,
+            "batches_run": self.batches_run,
+            "workers": self.engine.workers,
+            "queue_depth": self._queue.qsize(),
+        }
+
+    def wait(self, fingerprint: str, *, timeout: float = 60.0) -> dict:
+        """Block until a submitted fingerprint finishes (tests and CLIs)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            entry = self.status(fingerprint)
+            if entry is not None and entry["status"] in ("done", "failed"):
+                return entry
+            time.sleep(0.01)
+        raise TimeoutError(f"job {fingerprint} did not finish within {timeout:g}s")
+
+    # -- batcher -----------------------------------------------------------
+    def _drain_batch(self) -> list[tuple[str, AnalysisJob]]:
+        """One coalescing window: the first job blocks, the rest are gathered."""
+        try:
+            batch = [self._queue.get(timeout=0.1)]
+        except queue.Empty:
+            return []
+        deadline = time.monotonic() + self.batch_window
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                batch.append(self._queue.get(timeout=remaining))
+            except queue.Empty:
+                break
+        return batch
+
+    def _loop(self) -> None:
+        while self._running:
+            batch = self._drain_batch()
+            if not batch:
+                continue
+            with self._lock:
+                for fingerprint, _ in batch:
+                    self._status[fingerprint]["status"] = "running"
+            try:
+                report = self.engine.run([job for _, job in batch], resume=True)
+            except Exception as exc:  # engine must never kill the batcher
+                with self._lock:
+                    for fingerprint, job in batch:
+                        entry = self._track(self._entry(fingerprint, job.name, "failed", None))
+                        entry["error"] = f"{type(exc).__name__}: {exc}"
+                continue
+            with self._lock:
+                for (fingerprint, job), result in zip(batch, report.results):
+                    status = "done" if result.ok else "failed"
+                    self._track(self._entry(fingerprint, job.name, status, result))
+            self.batches_run += 1
+
+
+def make_server(service: AnalysisService, host: str = "127.0.0.1", port: int = 0) -> ThreadingHTTPServer:
+    """An HTTP server bound to ``host:port`` (port 0 = ephemeral) for ``service``."""
+
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, format: str, *args) -> None:  # quiet by default
+            pass
+
+        def _send_json(self, code: int, payload: dict) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:
+            path = self.path.split("?", 1)[0].rstrip("/")
+            if path == "/healthz":
+                self._send_json(200, service.stats())
+                return
+            if path.startswith("/jobs/"):
+                fingerprint = path[len("/jobs/"):]
+                entry = service.status(fingerprint)
+                if entry is None:
+                    self._send_json(404, {"error": f"unknown fingerprint {fingerprint!r}"})
+                else:
+                    self._send_json(200, entry)
+                return
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+        def do_POST(self) -> None:
+            path = self.path.split("?", 1)[0].rstrip("/")
+            if path != "/jobs":
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                payload = json.loads(self.rfile.read(length) or b"null")
+            except (ValueError, json.JSONDecodeError) as exc:
+                self._send_json(400, {"error": f"invalid JSON body: {exc}"})
+                return
+            if isinstance(payload, dict) and "jobs" in payload:
+                submissions = payload["jobs"]
+            else:
+                submissions = [payload]
+            if not isinstance(submissions, list) or not submissions:
+                self._send_json(400, {"error": "body must be a job or {'jobs': [...]}"})
+                return
+            try:
+                entries = service.submit_payloads(submissions)
+            except ReproError as exc:
+                self._send_json(400, {"error": str(exc)})
+                return
+            self._send_json(202, {"jobs": entries})
+
+    return ThreadingHTTPServer((host, port), Handler)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gleipnir-serve",
+        description="Serve Gleipnir analysis jobs over HTTP (submit, batch, poll).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8780)
+    parser.add_argument("--workers", type=int, default=1, help="process-pool size")
+    parser.add_argument("--store", default=None, help="JSONL result store path (enables resume)")
+    parser.add_argument("--cache-dir", default=None, help="shared on-disk bound cache directory")
+    parser.add_argument("--batch-window", type=float, default=0.05, help="coalescing window in seconds")
+    parser.add_argument("--max-batch", type=int, default=32, help="max jobs per engine batch")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    engine = AnalysisEngine(
+        workers=args.workers,
+        store=ResultStore(args.store) if args.store else None,
+        cache_dir=args.cache_dir,
+    )
+    service = AnalysisService(engine, batch_window=args.batch_window, max_batch=args.max_batch)
+    service.start()
+    server = make_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(f"gleipnir-serve listening on http://{host}:{port} (workers={args.workers})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.stop()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

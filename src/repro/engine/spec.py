@@ -1,0 +1,247 @@
+"""Declarative, content-addressed analysis jobs.
+
+An :class:`AnalysisJob` bundles everything one Gleipnir analysis needs — the
+program, the noise model, the input state, and the :class:`AnalysisConfig` —
+into a value that serializes to canonical JSON.  Canonical means: plain dicts
+of primitives, rule tables in sorted order, and ``json.dumps(sort_keys=True)``
+for the textual form, so two structurally identical jobs always produce the
+same bytes and therefore the same SHA-256 **fingerprint**.
+
+The fingerprint is the job's address everywhere in the engine: the process
+pool dedupes on it, the :class:`~repro.engine.store.ResultStore` keys results
+by it, and the serving front-end reports status under it.  Only fields that
+can change the *certified bound* enter the fingerprint; execution knobs
+(worker counts, cache paths, derivation collection, resource budgets) do not,
+so re-running a sweep with different parallelism or budgets still finds its
+prior results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from collections.abc import Sequence
+
+from ..circuits.circuit import Circuit
+from ..circuits.program import Program
+from ..circuits.serialize import program_from_json_dict, program_to_json_dict
+from ..config import AnalysisConfig, ResourceGuard, SDPConfig
+from ..errors import EngineError
+from ..noise.model import NoiseModel
+
+__all__ = [
+    "AnalysisJob",
+    "JobResult",
+    "canonical_json",
+    "config_to_json_dict",
+    "config_from_json_dict",
+]
+
+#: Schema version of the job payload; bump on incompatible format changes.
+JOB_SCHEMA_VERSION = 1
+
+
+def canonical_json(payload: dict) -> str:
+    """The canonical textual form: sorted keys, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def config_to_json_dict(config: AnalysisConfig) -> dict:
+    """An :class:`AnalysisConfig` as a plain dict (all fields, nested)."""
+    return dataclasses.asdict(config)
+
+
+def config_from_json_dict(payload: dict) -> AnalysisConfig:
+    """Inverse of :func:`config_to_json_dict`."""
+    try:
+        data = dict(payload)
+        sdp = SDPConfig(**data.pop("sdp", {}))
+        guard = ResourceGuard(**data.pop("guard", {}))
+        return AnalysisConfig(sdp=sdp, guard=guard, **data)
+    except TypeError as exc:
+        raise EngineError(f"malformed config payload: {exc}") from exc
+
+
+def _semantic_config_dict(config: AnalysisConfig) -> dict:
+    """The subset of the configuration that can change the certified bound.
+
+    The MPS width changes the predicate strength; the SDP mode, iteration
+    cap, tolerance, and cache quantisation change which dual certificate is
+    found; the noise convention changes the analysed channel.  Everything
+    else — scheduler on/off, worker counts, cache paths, derivation
+    collection, resource budgets — changes *when or whether* the same bound
+    is computed, never its value, and is excluded so fingerprints survive
+    re-runs under different execution settings.
+    """
+    return {
+        "mps_width": config.mps_width,
+        "noise_after_gate": config.noise_after_gate,
+        "sdp": {
+            "mode": config.sdp.mode,
+            "max_iterations": config.sdp.max_iterations,
+            "tolerance": config.sdp.tolerance,
+            "cache": config.sdp.cache,
+            "cache_decimals": config.sdp.cache_decimals,
+            "dominance_cache": config.sdp.dominance_cache,
+        },
+    }
+
+
+@dataclasses.dataclass
+class AnalysisJob:
+    """One declarative analysis request.
+
+    Attributes:
+        program: the program AST to analyse.
+        noise_model: the (declarative) noise model; factory-backed models are
+            rejected at serialization time.
+        config: analysis configuration (a private deep copy is not taken —
+            the engine copies before mutating per-worker fields).
+        initial_bits: computational-basis input state (None = all zeros).
+        num_qubits: register size (None = inferred from the program).
+        name: label used in reports and the result store.
+    """
+
+    program: Program
+    noise_model: NoiseModel
+    config: AnalysisConfig = dataclasses.field(default_factory=AnalysisConfig)
+    initial_bits: tuple[int, ...] | None = None
+    num_qubits: int | None = None
+    name: str = "job"
+
+    @classmethod
+    def from_circuit(
+        cls,
+        circuit: Circuit | Program,
+        noise_model: NoiseModel,
+        *,
+        config: AnalysisConfig | None = None,
+        initial_bits: Sequence[int] | None = None,
+        name: str | None = None,
+    ) -> "AnalysisJob":
+        """Build a job from a circuit (or program), mirroring ``analyze_program``."""
+        if isinstance(circuit, Circuit):
+            program = circuit.to_program()
+            num_qubits = circuit.num_qubits
+            default_name = circuit.name
+        else:
+            program = circuit
+            num_qubits = None
+            default_name = "job"
+        return cls(
+            program=program,
+            noise_model=noise_model,
+            config=config or AnalysisConfig(),
+            initial_bits=tuple(int(b) for b in initial_bits) if initial_bits is not None else None,
+            num_qubits=num_qubits,
+            name=name or default_name,
+        )
+
+    # -- serialization -------------------------------------------------------
+    def to_json_dict(self) -> dict:
+        return {
+            "version": JOB_SCHEMA_VERSION,
+            "kind": "analysis_job",
+            "name": self.name,
+            "program": program_to_json_dict(self.program),
+            "noise_model": self.noise_model.to_json_dict(),
+            "config": config_to_json_dict(self.config),
+            "initial_bits": list(self.initial_bits) if self.initial_bits is not None else None,
+            "num_qubits": self.num_qubits,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "AnalysisJob":
+        if not isinstance(payload, dict):
+            raise EngineError(f"job payload must be a dict, got {type(payload).__name__}")
+        if payload.get("kind") != "analysis_job":
+            raise EngineError(f"not an analysis job payload: kind={payload.get('kind')!r}")
+        version = payload.get("version")
+        if version != JOB_SCHEMA_VERSION:
+            raise EngineError(
+                f"unsupported job schema version {version!r} (supported: {JOB_SCHEMA_VERSION})"
+            )
+        try:
+            initial_bits = payload.get("initial_bits")
+            num_qubits = payload.get("num_qubits")
+            return cls(
+                program=program_from_json_dict(payload["program"]),
+                noise_model=NoiseModel.from_json_dict(payload["noise_model"]),
+                config=config_from_json_dict(payload.get("config", {})),
+                initial_bits=tuple(int(b) for b in initial_bits) if initial_bits is not None else None,
+                num_qubits=int(num_qubits) if num_qubits is not None else None,
+                name=str(payload.get("name", "job")),
+            )
+        except KeyError as exc:
+            raise EngineError(f"job payload missing field {exc}") from exc
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_json_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "AnalysisJob":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise EngineError(f"job payload is not valid JSON: {exc}") from exc
+        return cls.from_json_dict(payload)
+
+    # -- identity ------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content address of this job (SHA-256 over the canonical form).
+
+        Stable across processes, insensitive to dict/rule ordering, and
+        independent of execution knobs (see :func:`_semantic_config_dict`).
+        """
+        payload = {
+            "version": JOB_SCHEMA_VERSION,
+            "program": program_to_json_dict(self.program),
+            "noise_model": self.noise_model.to_json_dict(),
+            "config": _semantic_config_dict(self.config),
+            "initial_bits": list(self.initial_bits) if self.initial_bits is not None else None,
+            "num_qubits": self.num_qubits,
+        }
+        return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+@dataclasses.dataclass
+class JobResult:
+    """The JSON-serializable outcome of one executed job.
+
+    A deliberately flat record (no derivation tree, no numpy arrays) so it
+    crosses process boundaries cheaply and appends to the JSONL store as one
+    line.  ``status`` is ``"ok"``, ``"timeout"`` (the per-job
+    :class:`~repro.config.ResourceGuard` budget fired), or ``"error"``.
+    """
+
+    fingerprint: str
+    name: str
+    status: str = "ok"
+    error_bound: float | None = None
+    final_delta: float | None = None
+    num_gates: int = 0
+    num_branches: int = 0
+    elapsed_seconds: float = 0.0
+    sdp_solves: int = 0
+    sdp_cache_hits: int = 0
+    sdp_dominance_hits: int = 0
+    scheduled_solves: int = 0
+    mps_width: int = 0
+    noise_model: str = ""
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "JobResult":
+        try:
+            known = {field.name for field in dataclasses.fields(cls)}
+            return cls(**{key: value for key, value in payload.items() if key in known})
+        except TypeError as exc:
+            raise EngineError(f"malformed result payload: {exc}") from exc

@@ -1,0 +1,107 @@
+"""A resumable, append-only result store keyed by job fingerprint.
+
+The store is a JSONL file: one :class:`~repro.engine.spec.JobResult` per
+line.  Appends are atomic at the line level (single ``write`` + flush), so a
+sweep killed mid-run leaves at worst one truncated trailing line, which the
+loader skips.  Later lines win, so re-running a job simply supersedes its
+earlier record — including replacing a ``timeout``/``error`` record with an
+``ok`` one once the job is given a larger budget.
+
+``resume`` semantics (used by the engine and the ``--resume`` experiment
+flag): a job whose fingerprint maps to an ``ok`` record is not re-executed;
+failed, timed-out, or unknown fingerprints run again.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections.abc import Iterable
+
+from ..errors import EngineError
+from .spec import JobResult, canonical_json
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """JSONL-backed map from job fingerprint to the latest :class:`JobResult`."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._results: dict[str, JobResult] = {}
+        self._skipped_lines = 0
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._load()
+
+    def _load(self) -> None:
+        self._needs_newline = False
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            content = handle.read()
+        # A kill can leave the file without a trailing newline; the next
+        # append must not concatenate onto the truncated record.
+        self._needs_newline = bool(content) and not content.endswith("\n")
+        for line in content.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                result = JobResult.from_json_dict(json.loads(line))
+            except (json.JSONDecodeError, EngineError):
+                # Truncated trailing line after a kill, or foreign junk:
+                # skip rather than fail the whole sweep.
+                self._skipped_lines += 1
+                continue
+            self._results[result.fingerprint] = result
+
+    # -- queries -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._results
+
+    @property
+    def skipped_lines(self) -> int:
+        """Lines the loader could not parse (diagnostics only)."""
+        return self._skipped_lines
+
+    def get(self, fingerprint: str) -> JobResult | None:
+        return self._results.get(fingerprint)
+
+    def completed(self, fingerprint: str) -> bool:
+        """Whether the store holds a successful result for this fingerprint."""
+        result = self._results.get(fingerprint)
+        return result is not None and result.ok
+
+    def results(self) -> dict[str, JobResult]:
+        """A snapshot of the latest result per fingerprint."""
+        with self._lock:
+            return dict(self._results)
+
+    def missing(self, fingerprints: Iterable[str]) -> list[str]:
+        """The fingerprints that still need (re-)execution under resume."""
+        return [fp for fp in fingerprints if not self.completed(fp)]
+
+    # -- mutation ------------------------------------------------------------
+    def put(self, result: JobResult) -> None:
+        """Record one result: append a line, then update the in-memory map."""
+        line = canonical_json(result.to_json_dict())
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                if self._needs_newline:
+                    handle.write("\n")
+                    self._needs_newline = False
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._results[result.fingerprint] = result
+
+    def put_many(self, results: Iterable[JobResult]) -> None:
+        for result in results:
+            self.put(result)

@@ -68,3 +68,12 @@ class DeviceError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness for invalid configurations."""
+
+
+class EngineError(ReproError):
+    """Raised by the analysis engine for invalid jobs, payloads, or stores.
+
+    Examples: serialising a noise model backed by an opaque channel factory,
+    deserialising a job payload with an unknown schema version, or submitting
+    a malformed job to the serving front-end.
+    """

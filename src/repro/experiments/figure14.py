@@ -9,11 +9,12 @@ on the Ising benchmark (full scale) or on its reduced stand-in.
 from __future__ import annotations
 
 import dataclasses
-import time
 from collections.abc import Sequence
 
 from ..config import AnalysisConfig, DEFAULT_BIT_FLIP_PROBABILITY
-from ..core.analyzer import GleipnirAnalyzer
+from ..engine.pool import AnalysisEngine
+from ..engine.spec import AnalysisJob
+from ..errors import ExperimentError
 from ..noise.model import NoiseModel
 from ..programs.library import benchmark_by_name
 
@@ -58,24 +59,45 @@ def run_figure14(
     widths: Sequence[int] = DEFAULT_WIDTHS,
     bit_flip_probability: float = DEFAULT_BIT_FLIP_PROBABILITY,
     config: AnalysisConfig | None = None,
+    workers: int = 1,
+    resume: bool = False,
+    store_path: str | None = None,
+    cache_dir: str | None = None,
 ) -> Figure14Result:
-    """Sweep the MPS width on the Ising benchmark and record bound/runtime."""
+    """Sweep the MPS width on the Ising benchmark and record bound/runtime.
+
+    Each width is one content-addressed :class:`~repro.engine.spec.AnalysisJob`
+    (the MPS width is part of the fingerprint), so the sweep shards across
+    ``workers`` processes and resumes from ``store_path`` like any other
+    engine batch.
+    """
     spec = benchmark_by_name(benchmark, scale)
     circuit = spec.build()
     noise_model = NoiseModel.uniform_bit_flip(bit_flip_probability)
 
+    jobs = [
+        AnalysisJob.from_circuit(
+            circuit,
+            noise_model,
+            config=(config or AnalysisConfig()).replace(mps_width=int(width)),
+            name=f"{spec.name}[w={int(width)}]",
+        )
+        for width in widths
+    ]
+    engine = AnalysisEngine(workers=workers, store=store_path, cache_dir=cache_dir)
+    report = engine.run(jobs, resume=resume)
+
     points: list[Figure14Point] = []
-    for width in widths:
-        run_config = (config or AnalysisConfig()).replace(mps_width=int(width))
-        analyzer = GleipnirAnalyzer(noise_model, run_config)
-        start = time.perf_counter()
-        analysis = analyzer.analyze(circuit, program_name=f"{spec.name}[w={width}]")
-        elapsed = time.perf_counter() - start
+    for width, analysis in zip(widths, report.results):
+        if not analysis.ok:
+            raise ExperimentError(
+                f"figure-14 point w={width} {analysis.status}: {analysis.error}"
+            )
         points.append(
             Figure14Point(
                 mps_width=int(width),
                 error_bound=analysis.error_bound,
-                runtime_seconds=elapsed,
+                runtime_seconds=analysis.elapsed_seconds,
                 final_delta=analysis.final_delta,
             )
         )

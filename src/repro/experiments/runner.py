@@ -3,12 +3,18 @@
 Installed as ``gleipnir-experiments`` (see pyproject.toml)::
 
     gleipnir-experiments table2 --scale reduced
+    gleipnir-experiments table2 --scale reduced --workers 4 --store t2.jsonl --resume
     gleipnir-experiments figure14 --scale reduced --widths 1 2 4 8 16
     gleipnir-experiments table3 --shots 8192
     gleipnir-experiments all --scale reduced --output results.md
 
 ``--scale full`` reproduces the paper-scale configuration (10–100 qubits,
 MPS width 128); expect runtimes of minutes per row, as in the paper.
+
+``--workers N`` shards the Gleipnir analyses of ``table2``/``figure14``
+across an engine process pool (:mod:`repro.engine`); ``--store`` +
+``--resume`` make a killed sweep re-run only its missing jobs, and
+``--cache-dir`` shares one on-disk bound cache between workers and runs.
 """
 
 from __future__ import annotations
@@ -36,14 +42,35 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--markdown", action="store_true", help="emit Markdown tables")
         sub.add_argument("--output", type=str, default=None, help="write the report to a file")
 
+    def add_engine(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--workers", type=int, default=1, help="engine process-pool size (1 = inline)"
+        )
+        sub.add_argument(
+            "--resume",
+            action="store_true",
+            help="skip jobs already completed in --store",
+        )
+        sub.add_argument(
+            "--store", type=str, default=None, help="JSONL result store (enables --resume)"
+        )
+        sub.add_argument(
+            "--cache-dir",
+            type=str,
+            default=None,
+            help="shared on-disk bound cache for the engine workers",
+        )
+
     table2 = subparsers.add_parser("table2", help="error bounds on the benchmark suite")
     add_common(table2)
+    add_engine(table2)
     table2.add_argument("--mps-width", type=int, default=None)
     table2.add_argument("--benchmarks", nargs="*", default=None)
     table2.add_argument("--no-lqr", action="store_true", help="skip the LQR baseline")
 
     figure14 = subparsers.add_parser("figure14", help="bound/runtime vs MPS size")
     add_common(figure14)
+    add_engine(figure14)
     figure14.add_argument("--widths", nargs="*", type=int, default=list(DEFAULT_WIDTHS))
     figure14.add_argument("--benchmark", type=str, default="Isingmodel45")
 
@@ -68,6 +95,13 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    engine_kwargs = {
+        "workers": getattr(args, "workers", 1),
+        "resume": getattr(args, "resume", False),
+        "store_path": getattr(args, "store", None),
+        "cache_dir": getattr(args, "cache_dir", None),
+    }
+
     sections: list[str] = []
     if args.command in ("table2", "all"):
         result = run_table2(
@@ -75,12 +109,15 @@ def main(argv: list[str] | None = None) -> int:
             mps_width=getattr(args, "mps_width", None),
             benchmarks=getattr(args, "benchmarks", None),
             include_lqr=not getattr(args, "no_lqr", False),
+            **engine_kwargs,
         )
         sections.append(render_table2(result, markdown=args.markdown))
     if args.command in ("figure14", "all"):
         widths = getattr(args, "widths", list(DEFAULT_WIDTHS))
         benchmark = getattr(args, "benchmark", "Isingmodel45")
-        result = run_figure14(scale=args.scale, widths=widths, benchmark=benchmark)
+        result = run_figure14(
+            scale=args.scale, widths=widths, benchmark=benchmark, **engine_kwargs
+        )
         sections.append(render_figure14(result, markdown=args.markdown))
     if args.command in ("table3", "all"):
         result = run_table3(shots=getattr(args, "shots", 8192))

@@ -18,12 +18,13 @@ suite suitable for CI and ``pytest benchmarks/``.
 from __future__ import annotations
 
 import dataclasses
-import time
 from collections.abc import Sequence
 
+from ..circuits.circuit import Circuit
 from ..config import AnalysisConfig, DEFAULT_BIT_FLIP_PROBABILITY
-from ..core.analyzer import GleipnirAnalyzer
 from ..core.baselines import lqr_full_simulation_bound, worst_case_bound
+from ..engine.pool import AnalysisEngine, execute_job
+from ..engine.spec import AnalysisJob, JobResult
 from ..errors import ExperimentError
 from ..noise.model import NoiseModel
 from ..programs.library import BenchmarkSpec, table2_benchmarks
@@ -80,24 +81,20 @@ def _noise_model(bit_flip_probability: float) -> NoiseModel:
     return NoiseModel.uniform_bit_flip(bit_flip_probability)
 
 
-def run_table2_row(
+def _assemble_row(
     spec: BenchmarkSpec,
+    circuit: Circuit,
+    analysis: JobResult,
+    noise_model: NoiseModel,
+    config: AnalysisConfig,
     *,
-    mps_width: int = 128,
-    bit_flip_probability: float = DEFAULT_BIT_FLIP_PROBABILITY,
-    config: AnalysisConfig | None = None,
-    include_lqr: bool = True,
+    include_lqr: bool,
 ) -> Table2Row:
-    """Run one benchmark through Gleipnir and the baselines."""
-    circuit = spec.build()
-    noise_model = _noise_model(bit_flip_probability)
-    config = (config or AnalysisConfig()).replace(mps_width=mps_width)
-
-    analyzer = GleipnirAnalyzer(noise_model, config)
-    start = time.perf_counter()
-    analysis = analyzer.analyze(circuit, program_name=spec.name)
-    gleipnir_seconds = time.perf_counter() - start
-
+    """Combine one engine result with the (inline) baselines into a row."""
+    if not analysis.ok:
+        raise ExperimentError(
+            f"analysis of benchmark {spec.name!r} {analysis.status}: {analysis.error}"
+        )
     worst = worst_case_bound(circuit, noise_model, config=config)
 
     lqr_bound = None
@@ -114,15 +111,33 @@ def run_table2_row(
         num_qubits=circuit.num_qubits,
         gate_count=circuit.gate_count(),
         gleipnir_bound=analysis.error_bound,
-        gleipnir_seconds=gleipnir_seconds,
+        gleipnir_seconds=analysis.elapsed_seconds,
         lqr_bound=lqr_bound,
         lqr_seconds=lqr_seconds,
         lqr_timed_out=lqr_timed_out,
         worst_case_bound=worst.value if worst.value is not None else float("nan"),
-        mps_width=mps_width,
+        mps_width=config.mps_width,
         final_delta=analysis.final_delta,
         sdp_solves=analysis.sdp_solves,
         sdp_cache_hits=analysis.sdp_cache_hits,
+    )
+
+
+def run_table2_row(
+    spec: BenchmarkSpec,
+    *,
+    mps_width: int = 128,
+    bit_flip_probability: float = DEFAULT_BIT_FLIP_PROBABILITY,
+    config: AnalysisConfig | None = None,
+    include_lqr: bool = True,
+) -> Table2Row:
+    """Run one benchmark through Gleipnir and the baselines."""
+    circuit = spec.build()
+    noise_model = _noise_model(bit_flip_probability)
+    config = (config or AnalysisConfig()).replace(mps_width=mps_width)
+    job = AnalysisJob.from_circuit(circuit, noise_model, config=config, name=spec.name)
+    return _assemble_row(
+        spec, circuit, execute_job(job), noise_model, config, include_lqr=include_lqr
     )
 
 
@@ -134,8 +149,16 @@ def run_table2(
     benchmarks: Sequence[str] | None = None,
     config: AnalysisConfig | None = None,
     include_lqr: bool = True,
+    workers: int = 1,
+    resume: bool = False,
+    store_path: str | None = None,
+    cache_dir: str | None = None,
 ) -> Table2Result:
     """Regenerate Table 2 at the requested scale.
+
+    The Gleipnir analyses are submitted to the :mod:`repro.engine` as one
+    batch of content-addressed jobs; the baselines (worst case, LQR) stay
+    inline because they are either trivial or deliberately report timeouts.
 
     Args:
         scale: ``"full"`` for paper-scale circuits, ``"reduced"`` for the CI suite.
@@ -144,6 +167,12 @@ def run_table2(
         benchmarks: optional subset of benchmark names to run.
         config: analysis configuration overrides.
         include_lqr: also run the LQR + full-simulation baseline.
+        workers: engine process-pool size (1 = inline, bit-identical to the
+            historical sequential path).
+        resume: answer already-completed jobs from ``store_path`` instead of
+            re-running them.
+        store_path: JSONL result store making the sweep resumable.
+        cache_dir: shared on-disk gate-bound cache for the engine workers.
     """
     if mps_width is None:
         mps_width = 128 if scale == "full" else 16
@@ -154,15 +183,21 @@ def run_table2(
         missing = wanted - {spec.name for spec in specs}
         if missing:
             raise ExperimentError(f"unknown benchmarks requested: {sorted(missing)}")
+
+    noise_model = _noise_model(bit_flip_probability)
+    run_config = (config or AnalysisConfig()).replace(mps_width=mps_width)
+    circuits = [spec.build() for spec in specs]
+    jobs = [
+        AnalysisJob.from_circuit(circuit, noise_model, config=run_config, name=spec.name)
+        for spec, circuit in zip(specs, circuits)
+    ]
+    engine = AnalysisEngine(workers=workers, store=store_path, cache_dir=cache_dir)
+    report = engine.run(jobs, resume=resume)
     rows = [
-        run_table2_row(
-            spec,
-            mps_width=mps_width,
-            bit_flip_probability=bit_flip_probability,
-            config=config,
-            include_lqr=include_lqr,
+        _assemble_row(
+            spec, circuit, analysis, noise_model, run_config, include_lqr=include_lqr
         )
-        for spec in specs
+        for spec, circuit, analysis in zip(specs, circuits, report.results)
     ]
     return Table2Result(
         rows=rows,

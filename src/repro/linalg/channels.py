@@ -25,6 +25,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..errors import NoiseModelError
+from .codec import complex_matrix_from_json, complex_matrix_to_json
 from .operators import embed_operator, is_unitary
 from .partial_trace import partial_trace_keep
 
@@ -278,6 +279,28 @@ class QuantumChannel:
     def output_reduced_on(self, rho: np.ndarray, qubits: Sequence[int]) -> np.ndarray:
         """Apply the channel, then reduce the output onto ``qubits``."""
         return partial_trace_keep(self.apply(rho), qubits)
+
+    # -- serialization ----------------------------------------------------
+    def to_json_dict(self) -> dict:
+        """Canonical dict form: the Kraus operators as nested ``[re, im]`` pairs.
+
+        Used by the analysis engine to ship noise models across process
+        boundaries and to fingerprint jobs (:mod:`repro.engine.spec`).
+        """
+        return {
+            "name": self._name,
+            "kraus": [complex_matrix_to_json(operator) for operator in self._kraus],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "QuantumChannel":
+        """Inverse of :meth:`to_json_dict`."""
+        try:
+            kraus = [complex_matrix_from_json(operator) for operator in payload["kraus"]]
+            name = payload.get("name")
+        except (TypeError, KeyError, ValueError) as exc:
+            raise NoiseModelError(f"malformed channel payload: {exc}") from exc
+        return cls(kraus, name=name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,35 @@
+"""The shared JSON codec for complex matrices (nested ``[re, im]`` pairs).
+
+Single source of truth for every serialization surface that ships matrices
+(gate unitaries in :mod:`repro.circuits.serialize`, Kraus operators in
+:class:`repro.linalg.channels.QuantumChannel`), so malformed-payload handling
+cannot drift between them.  :func:`complex_matrix_from_json` raises
+:class:`ValueError` on any malformed payload — ragged rows, non-numeric
+entries, wrong nesting — and callers wrap it in their domain error type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["complex_matrix_to_json", "complex_matrix_from_json"]
+
+
+def complex_matrix_to_json(matrix: np.ndarray) -> list:
+    """A complex matrix as nested ``[re, im]`` pairs (row-major)."""
+    matrix = np.asarray(matrix, dtype=np.complex128)
+    return [[[float(entry.real), float(entry.imag)] for entry in row] for row in matrix]
+
+
+def complex_matrix_from_json(payload: list) -> np.ndarray:
+    """Inverse of :func:`complex_matrix_to_json`; raises ValueError when malformed."""
+    try:
+        matrix = np.array(
+            [[complex(entry[0], entry[1]) for entry in row] for row in payload],
+            dtype=np.complex128,
+        )
+    except (TypeError, IndexError, ValueError) as exc:
+        raise ValueError(f"malformed matrix payload: {exc}") from exc
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix payload has {matrix.ndim} dimensions, expected 2")
+    return matrix

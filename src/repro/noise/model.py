@@ -179,6 +179,62 @@ class NoiseModel:
         """Whether this gate application carries no noise under the model."""
         return self.channel_for(gate, qubits) is None
 
+    # -- serialization -------------------------------------------------------
+    def to_json_dict(self) -> dict:
+        """Canonical dict form of the model's declarative rule tables.
+
+        Rule lists are emitted in sorted key order so structurally identical
+        models serialize identically regardless of registration order (the
+        analysis engine fingerprints jobs on this form).  Models backed by an
+        opaque channel *factory* cannot be described declaratively and raise
+        :class:`~repro.errors.NoiseModelError`.
+        """
+        if self._factory is not None:
+            raise NoiseModelError(
+                f"noise model {self._name!r} is backed by a channel factory and "
+                "cannot be serialized; register explicit rules instead"
+            )
+        return {
+            "name": self._name,
+            "noise_after_gate": self._noise_after_gate,
+            "defaults": [
+                [arity, self._default_by_arity[arity].to_json_dict()]
+                for arity in sorted(self._default_by_arity)
+            ],
+            "gate_rules": [
+                [gate_name, self._by_gate_name[gate_name].to_json_dict()]
+                for gate_name in sorted(self._by_gate_name)
+            ],
+            "qubit_rules": [
+                [list(qubits), self._by_qubits[qubits].to_json_dict()]
+                for qubits in sorted(self._by_qubits)
+            ],
+            "gate_qubit_rules": [
+                [gate_name, list(qubits), self._by_gate_and_qubits[(gate_name, qubits)].to_json_dict()]
+                for gate_name, qubits in sorted(self._by_gate_and_qubits)
+            ],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "NoiseModel":
+        """Inverse of :meth:`to_json_dict`."""
+        try:
+            model = cls(
+                name=payload["name"],
+                noise_after_gate=payload.get("noise_after_gate", True),
+            )
+            for arity, channel in payload.get("defaults", ()):
+                model.set_default(int(arity), QuantumChannel.from_json_dict(channel))
+            for gate_name, channel in payload.get("gate_rules", ()):
+                model.add_gate_rule(gate_name, QuantumChannel.from_json_dict(channel))
+            for qubits, channel in payload.get("qubit_rules", ()):
+                model.add_qubit_rule(qubits, QuantumChannel.from_json_dict(channel))
+            for gate_name, qubits, channel in payload.get("gate_qubit_rules", ()):
+                model.add_rule(gate_name, qubits, QuantumChannel.from_json_dict(channel))
+        except (TypeError, KeyError, ValueError) as exc:
+            raise NoiseModelError(f"malformed noise model payload: {exc}") from exc
+        return model
+
     def rules(self) -> list[GateNoiseRule]:
         """All explicitly registered rules (for reports and debugging)."""
         out: list[GateNoiseRule] = []

@@ -802,7 +802,7 @@ class GateBoundCache:
         fingerprint: str | None = None,
         expected_problem=None,
     ) -> DiamondNormBound | None:
-        """Exact / dominance / persistent lookup for the scheduler's pre-pass.
+        """Exact / persistent / dominance lookup for the scheduler's pre-pass.
 
         Exact and dominance answers leave the hit counters untouched — the
         replay's :meth:`lookup_or_compute` records those, so counting here
@@ -812,20 +812,26 @@ class GateBoundCache:
         used to validate them; disk hits *are* counted here, because loading
         promotes the entry into memory and the replay can then only see a
         plain hit.
+
+        Order matters: the persistent *exact* entry is tried before the
+        in-memory dominance layer.  A dominance answer (same rounded ρ̂,
+        larger δ) is sound but looser than the exact solve, so consulting it
+        first would make a warm-cache run report (slightly) different bounds
+        than the cold run that filled the store — exact disk entries keep
+        warm re-runs bit-identical.
         """
         cached = self._store.get(key)
         if cached is not None:
             return cached
-        cached = self._dominance_lookup(key, count=False)
-        if cached is not None:
-            return cached
-        if fingerprint is None or expected_problem is None:
-            return None
-        # Persistent hits ARE counted here: loading promotes the entry into
-        # the in-memory map, so the replay's lookup_or_compute can only ever
-        # record it as a plain hit — without counting now, persistent_hits
-        # would always read 0 under the scheduled path.
-        return self._persistent_lookup(key, fingerprint, expected_problem)
+        if fingerprint is not None and expected_problem is not None:
+            # Persistent hits ARE counted here: loading promotes the entry
+            # into the in-memory map, so the replay's lookup_or_compute can
+            # only ever record it as a plain hit — without counting now,
+            # persistent_hits would always read 0 under the scheduled path.
+            cached = self._persistent_lookup(key, fingerprint, expected_problem)
+            if cached is not None:
+                return cached
+        return self._dominance_lookup(key, count=False)
 
     def _dominance_lookup(
         self, key: tuple, *, count: bool = True
@@ -1068,10 +1074,10 @@ class GateBoundCache:
         if cached is not None:
             self.hits += 1
             return cached
-        cached = self._dominance_lookup(key)
-        if cached is not None:
-            self.hits += 1
-            return cached
+        # Persistent exact entries are consulted before dominance: a
+        # dominance answer is sound but looser, and letting it shadow the
+        # exact disk entry would make warm-cache runs report different
+        # bounds than the cold run that filled the store (see peek()).
         fingerprint = None
         if self.store_path is not None and noise_channel is not None:
             fingerprint = self.problem_fingerprint(
@@ -1091,6 +1097,10 @@ class GateBoundCache:
             if cached is not None:
                 self.hits += 1
                 return cached
+        cached = self._dominance_lookup(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
         self.misses += 1
         bound = gate_error_bound(
             gate_matrix,

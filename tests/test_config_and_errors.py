@@ -51,6 +51,27 @@ class TestConfig:
         assert other.mps_width == 4
         assert config.mps_width == 128
 
+    def test_replace_deep_copies_nested_state(self):
+        """Mutating a replaced copy must not leak into the original (or back).
+
+        ``dataclasses.replace`` alone keeps the same ``SDPConfig`` and
+        ``ResourceGuard`` instances in the copy; the engine mutates per-worker
+        copies (cache paths, budgets), so sharing would corrupt sibling jobs.
+        """
+        config = AnalysisConfig()
+        copy = config.replace(mps_width=4)
+        assert copy.sdp is not config.sdp
+        assert copy.guard is not config.guard
+
+        copy.sdp.persistent_cache_path = "/tmp/engine-cache"
+        copy.guard.max_seconds = 0.5
+        assert config.sdp.persistent_cache_path is None
+        assert config.guard.max_seconds is None
+
+        # Explicit nested replacements are used as-is.
+        sdp = SDPConfig(mode="fast")
+        assert config.replace(sdp=sdp).sdp is sdp
+
     def test_resource_guard(self):
         guard = ResourceGuard(max_dense_qubits=5, max_statevector_qubits=8)
         guard.check_dense_qubits(5)

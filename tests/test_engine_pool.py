@@ -1,0 +1,156 @@
+"""Tests for the process-pool engine: dedupe, sharding, budgets, resume."""
+
+import pytest
+
+from helpers import random_circuit
+
+from repro.circuits import Circuit
+from repro.config import AnalysisConfig, ResourceGuard, SDPConfig
+from repro.engine.pool import AnalysisEngine, execute_job
+from repro.engine.spec import AnalysisJob
+from repro.engine.store import ResultStore
+from repro.noise import NoiseModel
+
+FAST = AnalysisConfig(mps_width=4, sdp=SDPConfig(max_iterations=200, tolerance=1e-4))
+MODEL = NoiseModel.uniform_bit_flip(1e-3)
+
+
+def _job(circuit: Circuit, *, config: AnalysisConfig = FAST, name: str | None = None) -> AnalysisJob:
+    return AnalysisJob.from_circuit(circuit, MODEL, config=config, name=name)
+
+
+def _small_jobs() -> list[AnalysisJob]:
+    return [
+        _job(Circuit(2, name="ghz2").h(0).cx(0, 1)),
+        _job(Circuit(3, name="ghz3").h(0).cx(0, 1).cx(1, 2)),
+        _job(random_circuit(3, 12, seed=5), name="random3x12"),
+    ]
+
+
+class TestEngineBasics:
+    def test_inline_matches_direct_execution(self):
+        jobs = _small_jobs()
+        direct = [execute_job(job) for job in jobs]
+        report = AnalysisEngine(workers=1).run(jobs)
+        assert report.ok and report.executed == 3
+        assert [r.error_bound for r in report.results] == [r.error_bound for r in direct]
+
+    def test_dedupe_executes_once(self):
+        job = _small_jobs()[0]
+        clone = AnalysisJob.from_json(job.to_json())
+        report = AnalysisEngine(workers=1).run([job, clone, job])
+        assert report.executed == 1
+        assert report.deduplicated == 2
+        assert report.results[0] is report.results[1] is report.results[2]
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AnalysisEngine(workers=0)
+
+
+class TestEngineSharding:
+    def test_two_workers_bit_identical_to_inline(self):
+        jobs = _small_jobs()
+        inline = AnalysisEngine(workers=1).run(jobs)
+        sharded = AnalysisEngine(workers=2).run(jobs)
+        assert sharded.ok
+        assert [r.error_bound for r in sharded.results] == [
+            r.error_bound for r in inline.results
+        ]
+        assert [r.fingerprint for r in sharded.results] == [
+            job.fingerprint() for job in jobs
+        ]
+
+    def test_budget_timeout_does_not_kill_the_sweep(self):
+        budgeted_config = AnalysisConfig(
+            mps_width=16,
+            sdp=SDPConfig(max_iterations=2000, tolerance=1e-7),
+            guard=ResourceGuard(max_seconds=0.02),
+        )
+        jobs = [
+            _job(random_circuit(5, 60, seed=3), config=budgeted_config, name="exploding"),
+            *_small_jobs(),
+        ]
+        report = AnalysisEngine(workers=2).run(jobs)
+        statuses = {result.name: result.status for result in report.results}
+        assert statuses["exploding"] == "timeout"
+        assert all(
+            status == "ok" for name, status in statuses.items() if name != "exploding"
+        )
+        assert report.failures()[0].error_bound is None
+
+
+class TestEngineStoreIntegration:
+    def test_results_recorded_and_resumed(self, tmp_path):
+        store_path = str(tmp_path / "results.jsonl")
+        jobs = _small_jobs()
+        first = AnalysisEngine(workers=1, store=store_path).run(jobs)
+        assert first.executed == 3
+
+        resumed = AnalysisEngine(workers=1, store=store_path).run(jobs, resume=True)
+        assert resumed.executed == 0
+        assert resumed.resumed == 3
+        assert [r.error_bound for r in resumed.results] == [
+            r.error_bound for r in first.results
+        ]
+
+    def test_resume_after_kill_runs_only_missing_jobs(self, tmp_path):
+        """A sweep killed mid-run re-executes exactly the jobs it lost."""
+        store_path = str(tmp_path / "results.jsonl")
+        jobs = _small_jobs()
+        # Simulate the kill: only the first job's result ever reached the store.
+        AnalysisEngine(workers=1, store=store_path).run(jobs[:1])
+        with open(store_path, "a", encoding="utf-8") as handle:
+            handle.write('{"fingerprint": "truncat')  # line cut by the kill
+
+        engine = AnalysisEngine(workers=1, store=store_path)
+        report = engine.run(jobs, resume=True)
+        assert report.resumed == 1
+        assert report.executed == 2
+        assert report.ok
+        # The store now answers the whole sweep.
+        final = AnalysisEngine(workers=1, store=store_path).run(jobs, resume=True)
+        assert final.executed == 0 and final.resumed == 3
+
+    def test_resume_retries_failures(self, tmp_path):
+        store_path = str(tmp_path / "results.jsonl")
+        job = _small_jobs()[0]
+        impossible = AnalysisJob(
+            program=job.program,
+            noise_model=job.noise_model,
+            config=job.config.replace(guard=ResourceGuard(max_seconds=1e-9)),
+            num_qubits=job.num_qubits,
+            name=job.name,
+        )
+        first = AnalysisEngine(workers=1, store=store_path).run([impossible])
+        assert not first.ok
+        # Same fingerprint (budgets are execution knobs), so a healthy re-run
+        # under resume re-executes and replaces the failure record.
+        second = AnalysisEngine(workers=1, store=store_path).run([job], resume=True)
+        assert second.executed == 1 and second.ok
+        assert ResultStore(store_path).completed(job.fingerprint())
+
+    def test_without_resume_flag_store_still_records(self, tmp_path):
+        store_path = str(tmp_path / "results.jsonl")
+        jobs = _small_jobs()[:2]
+        AnalysisEngine(workers=1, store=store_path).run(jobs)
+        report = AnalysisEngine(workers=1, store=store_path).run(jobs)  # no resume
+        assert report.executed == 2  # recomputed, not answered from the store
+
+
+class TestSharedBoundCache:
+    def test_cache_dir_warms_second_run_without_changing_bounds(self, tmp_path):
+        cache_dir = str(tmp_path / "bounds")
+        jobs = [_job(random_circuit(3, 20, seed=9), name="warmable")]
+        cold = AnalysisEngine(workers=1, cache_dir=cache_dir).run(jobs)
+        warm = AnalysisEngine(workers=1, cache_dir=cache_dir).run(jobs)
+        assert cold.ok and warm.ok
+        assert warm.results[0].error_bound == cold.results[0].error_bound
+        assert warm.results[0].sdp_solves == 0  # every bound answered from disk
+        assert cold.results[0].sdp_solves > 0
+
+    def test_engine_does_not_mutate_job_config(self, tmp_path):
+        job = _small_jobs()[0]
+        AnalysisEngine(workers=1, cache_dir=str(tmp_path / "bounds")).run([job])
+        assert job.config.sdp.persistent_cache_path is None
+        assert job.config.collect_derivation is True

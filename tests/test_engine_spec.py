@@ -1,0 +1,233 @@
+"""Tests for job specs: canonical serialization and content addressing."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.serialize import (
+    gate_from_json_dict,
+    gate_to_json_dict,
+    program_from_json_dict,
+    program_to_json_dict,
+)
+from repro.config import AnalysisConfig, ResourceGuard, SDPConfig
+from repro.engine.spec import (
+    AnalysisJob,
+    JobResult,
+    config_from_json_dict,
+    config_to_json_dict,
+)
+from repro.errors import CircuitError, EngineError, NoiseModelError
+from repro.linalg.channels import QuantumChannel
+from repro.noise import NoiseModel, bit_flip, depolarizing
+
+
+def _branchy_circuit() -> Circuit:
+    circuit = Circuit(3, name="branchy").h(0).cx(0, 1).rz(0.37, 2)
+    circuit.if_measure(1, lambda c: c.x(0), lambda c: c.z(2))
+    return circuit
+
+
+class TestProgramSerialization:
+    def test_branchy_round_trip(self):
+        program = _branchy_circuit().to_program()
+        payload = program_to_json_dict(program)
+        rebuilt = program_from_json_dict(json.loads(json.dumps(payload)))
+        assert rebuilt == program
+
+    def test_custom_gate_embeds_matrix(self):
+        matrix = np.diag([1, 1j]).astype(np.complex128)
+        circuit = Circuit(1).unitary(matrix, 0, name="mygate")
+        payload = program_to_json_dict(circuit)
+        gate_payload = payload["gate"] if payload["kind"] == "gate" else payload["parts"][0]["gate"]
+        assert "matrix" in gate_payload
+        rebuilt = program_from_json_dict(payload)
+        op = next(rebuilt.operations())
+        assert np.allclose(op.gate.matrix, matrix)
+
+    def test_standard_gates_omit_matrix(self):
+        payload = gate_to_json_dict(Circuit(2).rzz(0.5, 0, 1).to_program().gate)
+        assert "matrix" not in payload
+        assert gate_from_json_dict(payload).key() == ("rzz", 2, (0.5,))
+
+    def test_dagger_gate_round_trips_via_matrix(self):
+        gate = Circuit(1).t(0).to_program().gate.dagger()
+        payload = gate_to_json_dict(gate)
+        assert "matrix" in payload  # "t_dg" is not a library name
+        rebuilt = gate_from_json_dict(payload)
+        assert np.allclose(rebuilt.matrix, gate.matrix)
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(CircuitError):
+            program_from_json_dict({"kind": "wat"})
+        with pytest.raises(CircuitError):
+            program_from_json_dict(["not", "a", "dict"])
+
+
+class TestChannelAndModelSerialization:
+    def test_channel_round_trip(self):
+        channel = depolarizing(0.01)
+        rebuilt = QuantumChannel.from_json_dict(channel.to_json_dict())
+        assert rebuilt.name == channel.name
+        assert np.allclose(rebuilt.choi(), channel.choi())
+
+    def test_model_round_trip_preserves_resolution(self):
+        model = NoiseModel(name="mixed")
+        model.set_default(1, bit_flip(0.01))
+        model.add_gate_rule("h", depolarizing(0.02))
+        model.add_qubit_rule([1], bit_flip(0.03))
+        model.add_rule("cx", [0, 1], bit_flip(0.04).tensor(bit_flip(0.0)))
+        rebuilt = NoiseModel.from_json_dict(model.to_json_dict())
+        circuit = Circuit(2)
+        for gate, qubits in [
+            (Circuit(1).h(0).to_program().gate, (0,)),
+            (Circuit(1).x(0).to_program().gate, (1,)),
+            (Circuit(2).cx(0, 1).to_program().gate, (0, 1)),
+        ]:
+            original = model.channel_for(gate, qubits)
+            copied = rebuilt.channel_for(gate, qubits)
+            assert np.allclose(original.choi(), copied.choi())
+        assert rebuilt.is_position_dependent() == model.is_position_dependent()
+
+    def test_rule_registration_order_is_canonicalised(self):
+        a = NoiseModel(name="m").add_gate_rule("h", bit_flip(0.01)).add_gate_rule("x", bit_flip(0.02))
+        b = NoiseModel(name="m").add_gate_rule("x", bit_flip(0.02)).add_gate_rule("h", bit_flip(0.01))
+        assert a.to_json_dict() == b.to_json_dict()
+
+    def test_factory_model_rejected(self):
+        model = NoiseModel.from_factory(lambda gate, qubits: None)
+        with pytest.raises(NoiseModelError):
+            model.to_json_dict()
+
+
+class TestConfigSerialization:
+    def test_round_trip(self):
+        config = AnalysisConfig(
+            mps_width=7,
+            sdp=SDPConfig(mode="fast", cache_decimals=4),
+            guard=ResourceGuard(max_dense_qubits=9, max_seconds=1.5),
+            scheduler=False,
+        )
+        rebuilt = config_from_json_dict(config_to_json_dict(config))
+        assert rebuilt == config
+
+    def test_malformed_rejected(self):
+        with pytest.raises(EngineError):
+            config_from_json_dict({"mps_width": 4, "nonsense": True})
+
+
+def _fast_job(name="job") -> AnalysisJob:
+    return AnalysisJob.from_circuit(
+        _branchy_circuit(),
+        NoiseModel.uniform_bit_flip(1e-3),
+        config=AnalysisConfig(mps_width=4, sdp=SDPConfig(max_iterations=100, tolerance=1e-3)),
+        name=name,
+    )
+
+
+def _shuffle_keys(payload):
+    """Recursively reverse dict key order (JSON object order is irrelevant)."""
+    if isinstance(payload, dict):
+        return {key: _shuffle_keys(payload[key]) for key in reversed(list(payload))}
+    if isinstance(payload, list):
+        return [_shuffle_keys(item) for item in payload]
+    return payload
+
+
+class TestAnalysisJob:
+    def test_json_round_trip_preserves_fingerprint(self):
+        job = _fast_job()
+        rebuilt = AnalysisJob.from_json(job.to_json())
+        assert rebuilt.fingerprint() == job.fingerprint()
+        assert rebuilt.program == job.program
+        assert rebuilt.num_qubits == job.num_qubits
+
+    def test_fingerprint_insensitive_to_dict_ordering(self):
+        job = _fast_job()
+        shuffled = _shuffle_keys(job.to_json_dict())
+        assert list(shuffled) != list(job.to_json_dict())
+        assert AnalysisJob.from_json_dict(shuffled).fingerprint() == job.fingerprint()
+
+    def test_fingerprint_ignores_execution_knobs(self):
+        job = _fast_job()
+        tweaked = AnalysisJob(
+            program=job.program,
+            noise_model=job.noise_model,
+            config=job.config.replace(
+                scheduler=False,
+                scheduler_workers=3,
+                collect_derivation=False,
+                guard=ResourceGuard(max_seconds=0.5),
+            ),
+            num_qubits=job.num_qubits,
+            name="other-name",
+        )
+        tweaked.config.sdp.persistent_cache_path = "/tmp/somewhere"
+        assert tweaked.fingerprint() == job.fingerprint()
+
+    def test_fingerprint_tracks_semantic_fields(self):
+        job = _fast_job()
+        for change in (
+            {"mps_width": 8},
+            {"noise_after_gate": False},
+            {"sdp": SDPConfig(mode="fast")},
+        ):
+            other = AnalysisJob(
+                program=job.program,
+                noise_model=job.noise_model,
+                config=job.config.replace(**change),
+                num_qubits=job.num_qubits,
+                name=job.name,
+            )
+            assert other.fingerprint() != job.fingerprint(), change
+
+    def test_fingerprint_stable_across_processes(self):
+        job = _fast_job()
+        script = (
+            "import sys; from repro.engine.spec import AnalysisJob; "
+            "print(AnalysisJob.from_json(sys.stdin.read()).fingerprint())"
+        )
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            input=job.to_json(),
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert out.stdout.strip() == job.fingerprint()
+
+    def test_bad_payloads_rejected(self):
+        with pytest.raises(EngineError):
+            AnalysisJob.from_json("not json")
+        with pytest.raises(EngineError):
+            AnalysisJob.from_json_dict({"kind": "something_else"})
+        payload = _fast_job().to_json_dict()
+        payload["version"] = 999
+        with pytest.raises(EngineError):
+            AnalysisJob.from_json_dict(payload)
+
+
+class TestJobResult:
+    def test_round_trip(self):
+        result = JobResult(fingerprint="abc", name="j", error_bound=0.25, num_gates=3)
+        rebuilt = JobResult.from_json_dict(json.loads(json.dumps(result.to_json_dict())))
+        assert rebuilt == result
+        assert rebuilt.ok
+
+    def test_unknown_fields_ignored_missing_required_rejected(self):
+        rebuilt = JobResult.from_json_dict(
+            {"fingerprint": "abc", "name": "j", "future_field": 1}
+        )
+        assert rebuilt.fingerprint == "abc"
+        with pytest.raises(EngineError):
+            JobResult.from_json_dict({"name": "missing fingerprint"})

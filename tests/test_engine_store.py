@@ -1,0 +1,56 @@
+"""Tests for the JSONL result store: persistence, resume filtering, robustness."""
+
+from repro.engine.spec import JobResult
+from repro.engine.store import ResultStore
+
+
+def _result(fp: str, status: str = "ok", bound: float = 0.1) -> JobResult:
+    return JobResult(fingerprint=fp, name=f"job-{fp}", status=status, error_bound=bound)
+
+
+class TestResultStore:
+    def test_put_get_across_instances(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(str(path))
+        store.put(_result("aa", bound=0.5))
+        store.put(_result("bb", status="error", bound=None))
+
+        reloaded = ResultStore(str(path))
+        assert len(reloaded) == 2
+        assert reloaded.get("aa").error_bound == 0.5
+        assert reloaded.completed("aa")
+        assert not reloaded.completed("bb")  # errors re-run under resume
+        assert not reloaded.completed("cc")
+
+    def test_later_lines_win(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(str(path))
+        store.put(_result("aa", status="timeout", bound=None))
+        store.put(_result("aa", status="ok", bound=0.25))
+        reloaded = ResultStore(str(path))
+        assert reloaded.completed("aa")
+        assert reloaded.get("aa").error_bound == 0.25
+
+    def test_missing_filter(self, tmp_path):
+        store = ResultStore(str(tmp_path / "results.jsonl"))
+        store.put(_result("aa"))
+        store.put(_result("bb", status="timeout"))
+        assert store.missing(["aa", "bb", "cc"]) == ["bb", "cc"]
+
+    def test_truncated_trailing_line_skipped(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(str(path))
+        store.put(_result("aa"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"fingerprint": "bb", "name": "half')  # killed mid-append
+        reloaded = ResultStore(str(path))
+        assert len(reloaded) == 1
+        assert reloaded.skipped_lines == 1
+        # The store stays appendable after the bad line.
+        reloaded.put(_result("cc"))
+        assert ResultStore(str(path)).completed("cc")
+
+    def test_nested_directory_created(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "results.jsonl"
+        ResultStore(str(path)).put(_result("aa"))
+        assert path.exists()
