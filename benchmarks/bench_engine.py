@@ -14,7 +14,10 @@ engine is measured on three axes:
   bounds bit-identical while eliminating every SDP solve.
 
 ``scripts/run_bench.py --engine`` writes the result to ``BENCH_engine.json``
-at the repository root (``--warm`` refreshes just the warm-cache section).
+at the repository root (``--warm`` refreshes just the warm-cache section;
+``--check --engine`` re-runs the trace and fails on a >2x regression against
+the committed file, scaled by the single-job ``calibration`` measurement so
+machines of different speeds compare fairly).
 Throughput scaling across workers is hardware-bound: on a single-core
 container the 1/2/4-worker rows measure dispatch overhead, not parallelism,
 which is why ``environment.cpu_count`` is part of the payload.
@@ -50,6 +53,10 @@ DUPLICATES_FACTOR = 3
 #: MPS width of the workload (matches the reduced Table 2 default).
 WORKLOAD_MPS_WIDTH = 16
 WORKER_COUNTS = (1, 2, 4)
+#: Single program used to calibrate machine speed for the CI regression gate.
+CALIBRATION_BENCHMARK = "Isingmodel10"
+#: Worker count whose committed timing the regression gate compares against.
+CHECK_WORKERS = 2
 
 
 def unique_jobs(*, benchmarks: list[str] | None = None) -> list[AnalysisJob]:
@@ -126,6 +133,49 @@ def measure_warm_cache(jobs: list[AnalysisJob], *, workers: int = 1) -> dict:
     }
 
 
+def measure_calibration() -> dict:
+    """One inline analysis of the calibration benchmark (machine-speed probe).
+
+    CI runners and developer laptops differ in raw speed, so committed
+    absolute engine timings cannot be compared directly; this single-job
+    measurement, taken both when the baseline was committed and at check
+    time, supplies the scaling factor (see :func:`regression_budget_seconds`).
+    """
+    (job,) = unique_jobs(benchmarks=[CALIBRATION_BENCHMARK])
+    start = time.perf_counter()
+    result = execute_job(job)
+    seconds = time.perf_counter() - start
+    assert result.ok
+    return {"benchmark": CALIBRATION_BENCHMARK, "seconds": seconds}
+
+
+def regression_budget_seconds(baseline: dict, calibration_seconds: float) -> float:
+    """The 2x-regression budget for the engine trace, machine-calibrated.
+
+    The budget is 2x the committed ``workers_2`` trace time, scaled by how
+    much slower (or faster) this machine ran the calibration job than the
+    baseline machine did.
+    """
+    committed = baseline["engine"][f"workers_{CHECK_WORKERS}"]["seconds"]
+    committed_calibration = baseline["calibration"]["seconds"]
+    machine_factor = calibration_seconds / max(committed_calibration, 1e-9)
+    return 2.0 * max(committed, 0.5) * max(machine_factor, 0.1)
+
+
+def measure_check() -> dict:
+    """The measurements the CI regression gate needs: calibration + one run."""
+    jobs = unique_jobs()
+    trace = reference_trace(jobs)
+    calibration = measure_calibration()
+    run = measure_engine(trace, workers=CHECK_WORKERS)
+    return {
+        "calibration_seconds": calibration["seconds"],
+        "seconds": run["seconds"],
+        "workers": CHECK_WORKERS,
+        "submissions": len(trace),
+    }
+
+
 def _environment() -> dict:
     return {
         "python": platform.python_version(),
@@ -164,6 +214,7 @@ def collect_all() -> dict:
             "mps_width": WORKLOAD_MPS_WIDTH,
         },
         "environment": _environment(),
+        "calibration": measure_calibration(),
         "sequential_baseline": sequential,
         "engine": {
             key: {k: v for k, v in run.items() if k != "bounds"}

@@ -4,11 +4,14 @@ Measures the pieces the perf trajectory tracks:
 
 * the **reference workload** — the profiled 5-qubit / 65-gate random circuit
   analysed end-to-end under the paper's uniform bit-flip model — through the
-  scheduled (default) and sequential analyzer paths;
+  scheduled (default, single-pass) and sequential analyzer paths;
 * the **SDP micro-kernel** — per-iteration PSD projection throughput of the
   batched packed-real kernel vs the per-block eigendecomposition loop it
   replaced;
-* SDP workload statistics (solves, cache/dominance hits).
+* **batched certification** — solving and certifying the workload's unique
+  solve classes in one fused batch versus one gate at a time (the two paths
+  must produce bit-identical bounds);
+* SDP workload statistics (solves, cache/dominance hits, MPS walks).
 
 ``scripts/run_bench.py`` calls :func:`collect_all` and writes the result to
 ``BENCH_perf.json`` at the repository root; the pytest entry points below run
@@ -33,7 +36,7 @@ for entry in (REPO_ROOT / "src", REPO_ROOT / "tests"):
 
 from helpers import random_circuit  # noqa: E402
 
-from repro.config import AnalysisConfig, SDPConfig  # noqa: E402
+from repro.config import AnalysisConfig  # noqa: E402
 from repro.core.analyzer import analyze_program  # noqa: E402
 from repro.linalg.decompositions import positive_part  # noqa: E402
 from repro.noise import NoiseModel  # noqa: E402
@@ -70,6 +73,7 @@ def measure_reference_workload(*, scheduler: bool, mps_width: int = 16) -> dict:
         "sdp_cache_hits": result.sdp_cache_hits,
         "sdp_dominance_hits": result.sdp_dominance_hits,
         "scheduled_solves": result.scheduled_solves,
+        "mps_walks": result.mps_walks,
     }
 
 
@@ -117,8 +121,68 @@ def measure_kernel_microbench(*, batch: int = 64, repeats: int = 50) -> dict:
     }
 
 
+def reference_solve_classes(*, mps_width: int = 16):
+    """The unique (gate, noise, predicate) solve classes of the workload."""
+    from repro.core.analyzer import GleipnirAnalyzer
+    from repro.core.rules import absorb_continuations
+    from repro.core.scheduler import BoundScheduler
+    from repro.mps.approximator import MPSApproximator
+
+    circuit = _reference_circuit()
+    model = NoiseModel.uniform_bit_flip(1e-3)
+    config = AnalysisConfig(mps_width=mps_width)
+    analyzer = GleipnirAnalyzer(model, config)
+    scheduler = BoundScheduler(
+        model, analyzer.cache, config, gate_key=analyzer._gate_key
+    )
+    program = absorb_continuations(circuit.to_program())
+    approximator = MPSApproximator.from_product_state(
+        [0] * REFERENCE_QUBITS, width=mps_width
+    )
+    from repro.core.derivation import ReplayTape
+
+    scheduler._collect(program, approximator, ReplayTape())
+    return [
+        (c.gate_matrix, c.noise_channel, c.rho_rounded, c.delta_effective)
+        for c in scheduler._classes.values()
+    ]
+
+
+def measure_batch_certification(*, mps_width: int = 16) -> dict:
+    """Fused batch solve+certify vs one gate at a time, on the unique classes.
+
+    Both paths run the identical batched primitives (the per-gate path is a
+    batch of one), so the bounds must match bit for bit; the measured gap is
+    pure batching leverage (dispatch overhead and small-matrix eigh fusion).
+    """
+    from repro.sdp import gate_error_bound, gate_error_bounds_batch
+
+    instances = reference_solve_classes(mps_width=mps_width)
+
+    start = time.perf_counter()
+    batched = gate_error_bounds_batch(instances)
+    batched_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    per_gate = [gate_error_bound(*instance) for instance in instances]
+    per_gate_seconds = time.perf_counter() - start
+
+    return {
+        "unique_classes": len(instances),
+        "batched_seconds": batched_seconds,
+        "per_gate_seconds": per_gate_seconds,
+        "batch_speedup": per_gate_seconds / batched_seconds if batched_seconds else None,
+        "bit_identical": [b.value for b in batched] == [b.value for b in per_gate],
+    }
+
+
 def collect_all() -> dict:
     """The full BENCH_perf.json payload."""
+    # One small warm-up analysis so the measured phases reflect steady state
+    # (shape templates, layout caches, numpy dispatch) rather than
+    # first-call costs, which would otherwise land on whichever phase runs
+    # first and add noise to the regression gate.
+    measure_reference_workload(scheduler=True, mps_width=8)
     sequential = measure_reference_workload(scheduler=False)
     scheduled = measure_reference_workload(scheduler=True)
     return {
@@ -140,10 +204,17 @@ def collect_all() -> dict:
             "analyze_scheduled": scheduled,
         },
         "kernel_microbench": measure_kernel_microbench(),
+        "batch_certification_microbench": measure_batch_certification(),
         "speedup_vs_seed_baseline": SEED_BASELINE_SECONDS / scheduled["seconds"],
         "speedup_scheduled_vs_sequential": (
             sequential["seconds"] / scheduled["seconds"]
         ),
+        "single_pass": {
+            "scheduled_mps_walks": scheduled["mps_walks"],
+            "bounds_bit_identical_scheduled_vs_sequential": (
+                scheduled["error_bound"] == sequential["error_bound"]
+            ),
+        },
     }
 
 
@@ -182,6 +253,8 @@ def test_reference_workload_smoke():
     assert scheduled["error_bound"] > 0
     assert scheduled["num_gates"] == REFERENCE_GATES
     assert scheduled["sdp_cache_hits"] >= scheduled["sdp_solves"]
+    # Single-pass pipeline: the MPS phase ran exactly once.
+    assert scheduled["mps_walks"] == 1
 
     baseline = load_baseline()
     if baseline is None:
@@ -200,6 +273,13 @@ def test_kernel_microbench_smoke():
     assert micro["kernel_speedup"] is not None
     # The batched projection must beat the per-block Python loop.
     assert micro["kernel_speedup"] > 1.0
+
+
+def test_batch_certification_smoke():
+    """Fused batch certification is bit-identical to the per-gate path."""
+    micro = measure_batch_certification()
+    assert micro["unique_classes"] > 0
+    assert micro["bit_identical"]
 
 
 if __name__ == "__main__":

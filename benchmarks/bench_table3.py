@@ -10,8 +10,6 @@ Shape assertions (the paper's two findings):
 
 from __future__ import annotations
 
-import pytest
-
 from repro.experiments.table3 import run_table3
 
 from conftest import experiment_config

@@ -6,6 +6,11 @@ Usage:
                                            # exit non-zero on a >2x regression
     python scripts/run_bench.py --engine   # measure the analysis engine and
                                            # overwrite BENCH_engine.json
+    python scripts/run_bench.py --check --engine
+                                           # machine-calibrated engine check:
+                                           # re-run the serving trace and exit
+                                           # non-zero on a >2x regression vs
+                                           # the committed BENCH_engine.json
     python scripts/run_bench.py --warm     # warm-cache mode: pre-populate the
                                            # persistent bound cache via the
                                            # engine and report cold vs warm
@@ -39,6 +44,17 @@ def run_perf(check_only: bool) -> int:
     print(
         f"kernel microbench: {payload['kernel_microbench']['kernel_speedup']:.1f}x "
         "batched vs per-block loop"
+    )
+    certification = payload["batch_certification_microbench"]
+    print(
+        f"batch certification: {certification['batch_speedup']:.1f}x fused vs "
+        f"per-gate over {certification['unique_classes']} classes "
+        f"(bit-identical: {certification['bit_identical']})"
+    )
+    print(
+        f"single pass: {scheduled['mps_walks']} MPS walk(s), scheduled == "
+        f"sequential bounds: "
+        f"{payload['single_pass']['bounds_bit_identical_scheduled_vs_sequential']}"
     )
 
     if check_only:
@@ -97,6 +113,32 @@ def run_engine() -> int:
     return 0
 
 
+def run_engine_check() -> int:
+    """Machine-calibrated engine regression gate (used by the CI smoke job)."""
+    baseline = bench_engine.load_baseline()
+    if baseline is None or "calibration" not in baseline or "engine" not in baseline:
+        print("no committed BENCH_engine.json with calibration; nothing to compare")
+        return 0
+    current = bench_engine.measure_check()
+    budget = bench_engine.regression_budget_seconds(
+        baseline, current["calibration_seconds"]
+    )
+    print(
+        f"engine trace ({current['submissions']} submissions, "
+        f"{current['workers']} workers): {current['seconds']:.2f}s, "
+        f"calibration job {current['calibration_seconds']:.2f}s"
+    )
+    if current["seconds"] > budget:
+        print(
+            f"REGRESSION: {current['seconds']:.2f}s over the machine-calibrated "
+            f"2x budget of {budget:.2f}s",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"within budget: {current['seconds']:.2f}s vs calibrated budget {budget:.2f}s")
+    return 0
+
+
 def run_warm() -> int:
     warm = bench_engine.collect_warm_only()
     print(
@@ -119,6 +161,8 @@ def run_warm() -> int:
 
 def main() -> int:
     if "--engine" in sys.argv:
+        if "--check" in sys.argv:
+            return run_engine_check()
         return run_engine()
     if "--warm" in sys.argv:
         return run_warm()

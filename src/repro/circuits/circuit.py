@@ -232,7 +232,9 @@ class Circuit:
         return seq(*self._statements)
 
     @classmethod
-    def from_program(cls, program: Program, num_qubits: int | None = None, *, name: str = "circuit") -> "Circuit":
+    def from_program(
+        cls, program: Program, num_qubits: int | None = None, *, name: str = "circuit"
+    ) -> "Circuit":
         """Build a circuit from a branch-free program AST."""
         n = num_qubits if num_qubits is not None else max(program.num_qubits, 1)
         circuit = cls(n, name=name)
@@ -252,7 +254,9 @@ class Circuit:
             inverse.append(op.gate.dagger(), *op.qubits)
         return inverse
 
-    def remap(self, mapping: Sequence[int] | dict[int, int], num_qubits: int | None = None) -> "Circuit":
+    def remap(
+        self, mapping: Sequence[int] | dict[int, int], num_qubits: int | None = None
+    ) -> "Circuit":
         """Relabel qubits according to ``mapping`` (logical -> physical).
 
         ``mapping`` may be a sequence (``mapping[logical] = physical``) or a

@@ -152,7 +152,9 @@ def route_to_coupling(
     graph = nx.Graph()
     graph.add_edges_from(edges)
     if num_physical_qubits is None:
-        num_physical_qubits = (max(graph.nodes) + 1) if graph.number_of_nodes() else circuit.num_qubits
+        num_physical_qubits = (
+            (max(graph.nodes) + 1) if graph.number_of_nodes() else circuit.num_qubits
+        )
     graph.add_nodes_from(range(num_physical_qubits))
 
     if initial_layout is None:

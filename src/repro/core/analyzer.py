@@ -11,6 +11,15 @@ Given a program, an input product state, and a noise model, the analyzer
    (Section 4) into a verified bound on the whole program, together with the
    full derivation tree.
 
+The analysis pipeline is *single-pass*: with the bound scheduler enabled
+(the default), the MPS walk happens once, inside the scheduler's pre-pass,
+which records every predicate and truncation into a
+:class:`~repro.core.derivation.ReplayTape`; the derivation is then rebuilt
+from the tape (plus the prefilled bound cache) without evolving a second
+MPS.  Without the scheduler, the analyzer drives a live approximator as the
+paper describes.  Both modes run through the same traversal via the
+``_LiveTrace`` / ``_TapeTrace`` sources below.
+
 The result's ``error_bound`` is a *trace distance* (the ½‖·‖₁ convention), so
 it directly upper-bounds the statistical distance of any measurement performed
 on the noisy output versus the ideal output.
@@ -29,8 +38,15 @@ from ..errors import LogicError
 from ..mps.approximator import MPSApproximator
 from ..noise.model import NoiseModel
 from ..sdp.diamond import GateBoundCache
-from .derivation import Derivation, DerivationNode, GateContribution
-from .judgment import Judgment
+from .derivation import (
+    Derivation,
+    DerivationNode,
+    GateContribution,
+    ReplayTape,
+    TapeGate,
+    TapeMeasure,
+    TapeSkip,
+)
 from .predicate import trivial_local_predicate
 from .rules import absorb_continuations, gate_rule, meas_rule, seq_rule, skip_rule
 
@@ -63,6 +79,86 @@ def vacuous_branch_approximator(
     return fresh
 
 
+class _LiveTrace:
+    """Drives the derivation from a live MPS approximator (sequential path)."""
+
+    def __init__(self, approximator: MPSApproximator):
+        self._approximator = approximator
+
+    def skip_delta(self) -> float:
+        return self._approximator.delta
+
+    def gate_step(
+        self, op: GateOp, needs_predicate: bool
+    ) -> tuple[float, "object | None", float, float]:
+        approximator = self._approximator
+        delta_before = approximator.delta
+        rho_local = (
+            approximator.local_predicate(op.qubits).rho_local
+            if needs_predicate
+            else None
+        )
+        truncation_added = approximator.apply_gate_op(op)
+        return delta_before, rho_local, truncation_added, approximator.delta
+
+    def measure_step(self, qubit: int) -> tuple[float, dict[int, tuple[float, "_LiveTrace"]]]:
+        delta_before = self._approximator.delta
+        reachable = {
+            outcome: (probability, _LiveTrace(child))
+            for outcome, probability, child in self._approximator.branch_on_measurement(
+                qubit
+            )
+        }
+        return delta_before, reachable
+
+    def unreachable_branch(
+        self, branch: Program, qubit: int, outcome: int, width: int
+    ) -> "_LiveTrace":
+        return _LiveTrace(vacuous_branch_approximator(branch, qubit, outcome, width))
+
+
+class _TapeTrace:
+    """Replays the pre-pass :class:`ReplayTape`; performs no MPS work.
+
+    The tape is consumed sequentially — measurement branches and unreachable
+    branches continue on the same tape because the pre-pass recorded them in
+    the identical traversal order.
+    """
+
+    def __init__(self, tape: ReplayTape):
+        self._tape = tape
+
+    def skip_delta(self) -> float:
+        return self._tape.take(TapeSkip).delta
+
+    def gate_step(
+        self, op: GateOp, needs_predicate: bool
+    ) -> tuple[float, "object | None", float, float]:
+        record = self._tape.take(TapeGate)
+        if (record.rho_local is None) == needs_predicate:
+            raise LogicError(
+                f"replay tape out of step at gate {op.gate.label()}: the "
+                "pre-pass and the replay disagree about the gate's noise"
+            )
+        return (
+            record.delta_before,
+            record.rho_local,
+            record.truncation_added,
+            record.delta_after,
+        )
+
+    def measure_step(self, qubit: int) -> tuple[float, dict[int, tuple[float, "_TapeTrace"]]]:
+        record = self._tape.take(TapeMeasure)
+        return record.delta_before, {
+            outcome: (probability, self) for outcome, probability in record.probabilities
+        }
+
+    def unreachable_branch(
+        self, branch: Program, qubit: int, outcome: int, width: int
+    ) -> "_TapeTrace":
+        return self
+
+
 @dataclasses.dataclass
 class AnalysisResult:
     """Outcome of one Gleipnir analysis.
@@ -82,6 +178,10 @@ class AnalysisResult:
             cached predicate instead of a fresh solve.
         scheduled_solves: unique solve classes the bound scheduler solved
             up front (0 when the scheduler is disabled).
+        mps_walks: how many times an MPS evolved through the whole program
+            for this analysis.  The single-pass pipeline keeps this at 1:
+            either the scheduler's pre-pass (whose ReplayTape the derivation
+            replays) or the live sequential traversal, never both.
     """
 
     error_bound: float
@@ -97,6 +197,7 @@ class AnalysisResult:
     program_name: str = ""
     sdp_dominance_hits: int = 0
     scheduled_solves: int = 0
+    mps_walks: int = 1
 
     def gate_contributions(self) -> list[GateContribution]:
         if self.derivation is None:
@@ -158,7 +259,6 @@ class GleipnirAnalyzer:
             )
 
         normalised = absorb_continuations(ast)
-        approximator = MPSApproximator.from_product_state(bits, width=self.config.mps_width)
 
         if not self.config.sdp.cache:
             self._cache.clear()
@@ -167,21 +267,35 @@ class GleipnirAnalyzer:
         dominance_before = self._cache.dominance_hits
 
         scheduled_solves = 0
+        tape = None
         if self.config.scheduler and self.config.sdp.cache:
             # Program-level pre-pass: collect every quantised solve class,
             # dedupe, and batch-solve the unique set before the derivation
-            # replay below — which then hits the cache for every gate.
+            # replay below — which then hits the cache for every gate and
+            # consumes the pre-pass ReplayTape instead of evolving a second
+            # MPS (the single-pass pipeline).
             from .scheduler import BoundScheduler
 
             scheduler = BoundScheduler(
                 self.noise_model, self._cache, self.config, gate_key=self._gate_key
             )
-            scheduled_solves = scheduler.prefill(normalised, bits).num_solved
+            report = scheduler.prefill(normalised, bits)
+            scheduled_solves = report.num_solved
+            tape = report.tape
+
+        if tape is not None:
+            trace: _LiveTrace | _TapeTrace = _TapeTrace(tape)
+        else:
+            trace = _LiveTrace(
+                MPSApproximator.from_product_state(bits, width=self.config.mps_width)
+            )
 
         self._num_gates = 0
         self._num_branches = 1
         self._max_delta = 0.0
-        root = self._analyze_node(normalised, approximator)
+        root = self._analyze_node(normalised, trace)
+        if tape is not None:
+            tape.verify_exhausted()
         elapsed = time.perf_counter() - start
 
         derivation = None
@@ -205,6 +319,7 @@ class GleipnirAnalyzer:
             program_name=name,
             sdp_dominance_hits=self._cache.dominance_hits - dominance_before,
             scheduled_solves=scheduled_solves,
+            mps_walks=1,
         )
 
     @property
@@ -212,40 +327,42 @@ class GleipnirAnalyzer:
         return self._cache
 
     # -- recursive analysis -------------------------------------------------------
-    def _analyze_node(self, program: Program, approximator: MPSApproximator) -> DerivationNode:
+    def _analyze_node(
+        self, program: Program, trace: "_LiveTrace | _TapeTrace"
+    ) -> DerivationNode:
         if isinstance(program, Skip):
-            return skip_rule(approximator.delta, noise_model=self.noise_model.name)
+            return skip_rule(trace.skip_delta(), noise_model=self.noise_model.name)
         if isinstance(program, GateOp):
-            return self._analyze_gate(program, approximator)
+            return self._analyze_gate(program, trace)
         if isinstance(program, Seq):
-            children = [self._analyze_node(part, approximator) for part in program.parts]
+            children = [self._analyze_node(part, trace) for part in program.parts]
             return seq_rule(children, noise_model=self.noise_model.name)
         if isinstance(program, IfMeasure):
-            return self._analyze_measure(program, approximator)
+            return self._analyze_measure(program, trace)
         raise LogicError(f"unknown program node {type(program).__name__}")
 
-    def _analyze_gate(self, op: GateOp, approximator: MPSApproximator) -> DerivationNode:
+    def _analyze_gate(
+        self, op: GateOp, trace: "_LiveTrace | _TapeTrace"
+    ) -> DerivationNode:
         self._num_gates += 1
-        delta_before = approximator.delta
         noise_channel = self.noise_model.channel_for(op.gate, op.qubits)
+        delta_before, rho_local, truncation_added, delta_after = trace.gate_step(
+            op, noise_channel is not None
+        )
 
         bound = None
-        rho_local = None
         if noise_channel is not None:
-            predicate = approximator.local_predicate(op.qubits)
-            rho_local = predicate.rho_local
             bound = self._cache.lookup_or_compute(
                 self._gate_key(op, noise_channel),
                 op.gate.matrix,
                 noise_channel,
-                predicate.rho_local,
-                predicate.delta,
+                rho_local,
+                delta_before,
                 noise_after_gate=self.config.noise_after_gate,
                 config=self.config.sdp,
             )
 
-        truncation_added = approximator.apply_gate_op(op)
-        self._max_delta = max(self._max_delta, approximator.delta)
+        self._max_delta = max(self._max_delta, delta_after)
         return gate_rule(
             op.gate.label(),
             op.qubits,
@@ -280,12 +397,10 @@ class GleipnirAnalyzer:
         """
         return self.noise_model.is_position_dependent()
 
-    def _analyze_measure(self, program: IfMeasure, approximator: MPSApproximator) -> DerivationNode:
-        delta_before = approximator.delta
-        reachable = {
-            outcome: (probability, child)
-            for outcome, probability, child in approximator.branch_on_measurement(program.qubit)
-        }
+    def _analyze_measure(
+        self, program: IfMeasure, trace: "_LiveTrace | _TapeTrace"
+    ) -> DerivationNode:
+        delta_before, reachable = trace.measure_step(program.qubit)
         self._num_branches += 1
         branch_nodes: list[DerivationNode] = []
         probabilities: list[float] = []
@@ -297,8 +412,12 @@ class GleipnirAnalyzer:
             else:
                 # The approximation gives this outcome probability ~0, so we
                 # cannot compute a collapsed ρ̂ for it.  Analyse the branch
-                # under the trivial predicate instead (sound, possibly loose).
-                branch_nodes.append(self._analyze_unreachable_branch(branch_program, program.qubit, outcome))
+                # under the trivial predicate instead (sound, possibly loose;
+                # see vacuous_branch_approximator).
+                fresh = trace.unreachable_branch(
+                    branch_program, program.qubit, outcome, self.config.mps_width
+                )
+                branch_nodes.append(self._analyze_node(branch_program, fresh))
                 probabilities.append(0.0)
         return meas_rule(
             program.qubit,
@@ -307,16 +426,6 @@ class GleipnirAnalyzer:
             branch_probabilities=probabilities,
             noise_model=self.noise_model.name,
         )
-
-    def _analyze_unreachable_branch(
-        self, branch: Program, qubit: int, outcome: int
-    ) -> DerivationNode:
-        """Bound a branch the approximation considers unreachable under the
-        vacuous predicate (see :func:`vacuous_branch_approximator`)."""
-        fresh = vacuous_branch_approximator(
-            branch, qubit, outcome, self.config.mps_width
-        )
-        return self._analyze_node(branch, fresh)
 
 
 def analyze_program(

@@ -58,7 +58,9 @@ def gate_rule(
     label = f"{gate_label}({', '.join('q%d' % q for q in qubits)})"
     return DerivationNode(
         rule="gate",
-        judgment=Judgment(delta=delta, epsilon=epsilon, program_label=label, noise_model=noise_model),
+        judgment=Judgment(
+            delta=delta, epsilon=epsilon, program_label=label, noise_model=noise_model
+        ),
         gate_label=gate_label,
         qubits=tuple(int(q) for q in qubits),
         rho_local=rho_local,
@@ -162,8 +164,12 @@ def _absorb(statements: list[Program]) -> Program:
         if isinstance(statement, IfMeasure):
             rest = statements[index + 1 :]
             continuation = _absorb(rest) if rest else Skip()
-            then_branch = _absorb(statement.then_branch.statements() + ([continuation] if rest else []))
-            else_branch = _absorb(statement.else_branch.statements() + ([continuation] if rest else []))
+            then_branch = _absorb(
+                statement.then_branch.statements() + ([continuation] if rest else [])
+            )
+            else_branch = _absorb(
+                statement.else_branch.statements() + ([continuation] if rest else [])
+            )
             rewritten = IfMeasure(statement.qubit, then_branch, else_branch)
             return seq(*statements[:index], rewritten)
         if isinstance(statement, (Seq,)):

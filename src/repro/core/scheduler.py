@@ -1,4 +1,4 @@
-"""Program-level gate-bound scheduler.
+"""Program-level gate-bound scheduler and single-pass MPS pre-pass.
 
 The sequential analyzer pays for one SDP solve per cache-missing gate, in
 program order.  This module amortises that cost across the whole derivation:
@@ -6,16 +6,21 @@ program order.  This module amortises that cost across the whole derivation:
 1. a *collection pre-pass* evolves the MPS approximator over the normalised
    program — exactly mirroring the analyzer's traversal, including
    measurement branching and the vacuous-predicate handling of unreachable
-   branches — and records every quantised (gate, noise, ρ̂, δ) instance;
+   branches — recording every quantised (gate, noise, ρ̂, δ) instance *and*
+   writing every approximator fact the replay needs into a
+   :class:`~repro.core.derivation.ReplayTape`;
 2. the instances are *deduped* into unique solve classes (the same key the
    :class:`repro.sdp.diamond.GateBoundCache` would use, so the replay pass
    hits the cache for every gate);
 3. the unique classes that the cache cannot already answer (exactly, by
    predicate dominance, or from the persistent store) are solved through the
    *batched* SDP kernel — same-shaped problems advance in lock-step inside
-   one vectorised ADMM run — optionally split across a thread pool;
+   one vectorised ADMM run, and all their dual certificates are verified in
+   one fused batch certification pass — optionally split across a thread
+   pool;
 4. the solved bounds are inserted into the cache, and the analyzer replays
-   the derivation from the solved table.
+   the derivation from the solved table *and the tape*, so the MPS phase
+   runs exactly once per input.
 
 Every bound still carries its independently verified dual certificate, and
 on workloads where δ grows monotonically along each branch (the common
@@ -25,11 +30,6 @@ divergence: when the *dominance* layer could answer a later gate from an
 earlier same-ρ̂/larger-δ solve of the same run, the scheduler instead
 pre-solves both classes, giving an equal-or-tighter (never looser, still
 sound) bound at the cost of an extra batched solve.
-
-The pre-pass evolves its own MPS over the program, so the non-SDP phase
-runs twice; that cost is O(width³) per gate and is dwarfed by the SDP
-savings at current widths (~2% of the reference workload).  Feeding the
-pre-pass predicates to the replay would remove it (see ROADMAP).
 """
 
 from __future__ import annotations
@@ -46,6 +46,7 @@ from ..mps.approximator import MPSApproximator
 from ..noise.model import NoiseModel
 from ..sdp.diamond import GateBoundCache, gate_error_bounds_batch
 from .analyzer import vacuous_branch_approximator
+from .derivation import ReplayTape, TapeGate, TapeMeasure, TapeSkip
 
 __all__ = ["SolveClass", "SchedulerReport", "BoundScheduler"]
 
@@ -75,6 +76,7 @@ class SchedulerReport:
     num_unique_classes: int = 0
     num_solved: int = 0
     num_prefilled: int = 0
+    tape: ReplayTape | None = None
 
 
 class BoundScheduler:
@@ -97,13 +99,14 @@ class BoundScheduler:
 
     # -- public entry --------------------------------------------------------
     def prefill(self, program: Program, initial_bits: list[int]) -> SchedulerReport:
-        """Run the pre-pass over ``program`` and seed the cache."""
+        """Run the pre-pass over ``program``, seed the cache, return the tape."""
         approximator = MPSApproximator.from_product_state(
             initial_bits, width=self.config.mps_width
         )
         self._classes.clear()
         self._instances = 0
-        self._collect(program, approximator)
+        tape = ReplayTape()
+        self._collect(program, approximator, tape)
 
         pending = [
             solve_class
@@ -128,6 +131,7 @@ class BoundScheduler:
             num_unique_classes=len(self._classes),
             num_solved=len(pending),
             num_prefilled=len(self._classes) - len(pending),
+            tape=tape,
         )
         if not pending:
             return report
@@ -157,26 +161,34 @@ class BoundScheduler:
             )
 
     # -- collection traversal (mirrors GleipnirAnalyzer._analyze_node) -------
-    def _collect(self, program: Program, approximator: MPSApproximator) -> None:
+    def _collect(
+        self, program: Program, approximator: MPSApproximator, tape: ReplayTape
+    ) -> None:
         if isinstance(program, Skip):
+            tape.record(TapeSkip(delta=approximator.delta))
             return
         if isinstance(program, GateOp):
-            self._collect_gate(program, approximator)
+            self._collect_gate(program, approximator, tape)
             return
         if isinstance(program, Seq):
             for part in program.parts:
-                self._collect(part, approximator)
+                self._collect(part, approximator, tape)
             return
         if isinstance(program, IfMeasure):
-            self._collect_measure(program, approximator)
+            self._collect_measure(program, approximator, tape)
             return
         raise LogicError(f"unknown program node {type(program).__name__}")
 
-    def _collect_gate(self, op: GateOp, approximator: MPSApproximator) -> None:
+    def _collect_gate(
+        self, op: GateOp, approximator: MPSApproximator, tape: ReplayTape
+    ) -> None:
+        delta_before = approximator.delta
+        rho_local = None
         noise_channel = self.noise_model.channel_for(op.gate, op.qubits)
         if noise_channel is not None:
             self._instances += 1
             predicate = approximator.local_predicate(op.qubits)
+            rho_local = predicate.rho_local
             key_parts = self._gate_key(op, noise_channel)
             key, rho_rounded, delta_effective = self.cache.quantise_key(
                 key_parts, predicate.rho_local, predicate.delta
@@ -195,30 +207,45 @@ class BoundScheduler:
                     delta_effective=delta_effective,
                     fingerprint=fingerprint,
                 )
-        approximator.apply_gate_op(op)
+        truncation_added = approximator.apply_gate_op(op)
+        tape.record(
+            TapeGate(
+                delta_before=delta_before,
+                rho_local=rho_local,
+                truncation_added=truncation_added,
+                delta_after=approximator.delta,
+            )
+        )
 
     def _collect_measure(
-        self, program: IfMeasure, approximator: MPSApproximator
+        self, program: IfMeasure, approximator: MPSApproximator, tape: ReplayTape
     ) -> None:
-        reachable = {
-            outcome: child
-            for outcome, _probability, child in approximator.branch_on_measurement(
-                program.qubit
+        delta_before = approximator.delta
+        forks = approximator.branch_on_measurement(program.qubit)
+        tape.record(
+            TapeMeasure(
+                delta_before=delta_before,
+                probabilities=tuple(
+                    (outcome, probability) for outcome, probability, _child in forks
+                ),
             )
-        }
+        )
+        reachable = {outcome: child for outcome, _probability, child in forks}
         for outcome, branch_program in (
             (0, program.then_branch),
             (1, program.else_branch),
         ):
             if outcome in reachable:
-                self._collect(branch_program, reachable[outcome])
+                self._collect(branch_program, reachable[outcome], tape)
             else:
-                self._collect_unreachable_branch(branch_program, program.qubit, outcome)
+                self._collect_unreachable_branch(
+                    branch_program, program.qubit, outcome, tape
+                )
 
     def _collect_unreachable_branch(
-        self, branch: Program, qubit: int, outcome: int
+        self, branch: Program, qubit: int, outcome: int, tape: ReplayTape
     ) -> None:
         fresh = vacuous_branch_approximator(
             branch, qubit, outcome, self.config.mps_width
         )
-        self._collect(branch, fresh)
+        self._collect(branch, fresh, tape)

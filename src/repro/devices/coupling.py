@@ -38,7 +38,11 @@ class CouplingMap:
     @classmethod
     def linear(cls, num_qubits: int) -> "CouplingMap":
         """A chain 0-1-2-...-(n-1)."""
-        return cls(num_qubits, [(i, i + 1) for i in range(num_qubits - 1)], name=f"linear_{num_qubits}")
+        return cls(
+            num_qubits,
+            [(i, i + 1) for i in range(num_qubits - 1)],
+            name=f"linear_{num_qubits}",
+        )
 
     @classmethod
     def ring(cls, num_qubits: int) -> "CouplingMap":
@@ -141,4 +145,7 @@ class CouplingMap:
         return paths
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"CouplingMap(name={self._name!r}, qubits={self.num_qubits}, edges={len(self.edges())})"
+        return (
+            f"CouplingMap(name={self._name!r}, qubits={self.num_qubits}, "
+            f"edges={len(self.edges())})"
+        )

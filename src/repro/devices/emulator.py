@@ -195,5 +195,7 @@ class HardwareEmulator:
         results = []
         for mapping in mappings:
             mapped = map_circuit(circuit, mapping, self.coupling)
-            results.append((tuple(int(q) for q in mapping), self.measured_error(mapped, shots=shots)))
+            results.append(
+                (tuple(int(q) for q in mapping), self.measured_error(mapped, shots=shots))
+            )
         return results

@@ -162,7 +162,10 @@ def best_path_mapping(
         raise DeviceError(f"the device has no simple path of {length} qubits")
     if len(candidates) > max_candidates:
         candidates = candidates[:max_candidates]
-    best = min(candidates, key=lambda path: estimate_mapping_cost(circuit, path, coupling, calibration))
+    best = min(
+        candidates,
+        key=lambda path: estimate_mapping_cost(circuit, path, coupling, calibration),
+    )
     return tuple(best)
 
 

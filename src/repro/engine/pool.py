@@ -142,6 +142,7 @@ def execute_job(
         sdp_cache_hits=analysis.sdp_cache_hits,
         sdp_dominance_hits=analysis.sdp_dominance_hits,
         scheduled_solves=analysis.scheduled_solves,
+        mps_walks=analysis.mps_walks,
         mps_width=analysis.mps_width,
         noise_model=analysis.noise_model,
     )

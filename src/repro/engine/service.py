@@ -224,7 +224,9 @@ class AnalysisService:
             self.batches_run += 1
 
 
-def make_server(service: AnalysisService, host: str = "127.0.0.1", port: int = 0) -> ThreadingHTTPServer:
+def make_server(
+    service: AnalysisService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
     """An HTTP server bound to ``host:port`` (port 0 = ephemeral) for ``service``."""
 
     class Handler(BaseHTTPRequestHandler):
@@ -292,7 +294,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=1, help="process-pool size")
     parser.add_argument("--store", default=None, help="JSONL result store path (enables resume)")
     parser.add_argument("--cache-dir", default=None, help="shared on-disk bound cache directory")
-    parser.add_argument("--batch-window", type=float, default=0.05, help="coalescing window in seconds")
+    parser.add_argument(
+        "--batch-window", type=float, default=0.05, help="coalescing window in seconds"
+    )
     parser.add_argument("--max-batch", type=int, default=32, help="max jobs per engine batch")
     return parser
 

@@ -169,7 +169,9 @@ class AnalysisJob:
                 program=program_from_json_dict(payload["program"]),
                 noise_model=NoiseModel.from_json_dict(payload["noise_model"]),
                 config=config_from_json_dict(payload.get("config", {})),
-                initial_bits=tuple(int(b) for b in initial_bits) if initial_bits is not None else None,
+                initial_bits=(
+                    tuple(int(b) for b in initial_bits) if initial_bits is not None else None
+                ),
                 num_qubits=int(num_qubits) if num_qubits is not None else None,
                 name=str(payload.get("name", "job")),
             )
@@ -227,6 +229,7 @@ class JobResult:
     sdp_cache_hits: int = 0
     sdp_dominance_hits: int = 0
     scheduled_solves: int = 0
+    mps_walks: int = 0
     mps_width: int = 0
     noise_model: str = ""
     error: str | None = None

@@ -63,13 +63,15 @@ def run_figure14(
     resume: bool = False,
     store_path: str | None = None,
     cache_dir: str | None = None,
+    scheduler: bool = True,
 ) -> Figure14Result:
     """Sweep the MPS width on the Ising benchmark and record bound/runtime.
 
     Each width is one content-addressed :class:`~repro.engine.spec.AnalysisJob`
     (the MPS width is part of the fingerprint), so the sweep shards across
     ``workers`` processes and resumes from ``store_path`` like any other
-    engine batch.
+    engine batch.  ``scheduler=False`` forces the sequential per-gate path
+    instead of the single-pass scheduled pipeline.
     """
     spec = benchmark_by_name(benchmark, scale)
     circuit = spec.build()
@@ -79,7 +81,9 @@ def run_figure14(
         AnalysisJob.from_circuit(
             circuit,
             noise_model,
-            config=(config or AnalysisConfig()).replace(mps_width=int(width)),
+            config=(config or AnalysisConfig()).replace(
+                mps_width=int(width), scheduler=scheduler
+            ),
             name=f"{spec.name}[w={int(width)}]",
         )
         for width in widths

@@ -23,7 +23,11 @@ __all__ = [
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     """Render an ASCII table with aligned columns."""
-    columns = [list(map(str, column)) for column in zip(headers, *rows)] if rows else [[h] for h in headers]
+    columns = (
+        [list(map(str, column)) for column in zip(headers, *rows)]
+        if rows
+        else [[h] for h in headers]
+    )
     widths = [max(len(cell) for cell in column) for column in columns]
     def render_row(cells: Sequence[str]) -> str:
         return " | ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))

@@ -60,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="shared on-disk bound cache for the engine workers",
         )
+        sub.add_argument(
+            "--no-scheduler",
+            action="store_true",
+            help="disable the single-pass scheduled pipeline (sequential per-gate path)",
+        )
 
     table2 = subparsers.add_parser("table2", help="error bounds on the benchmark suite")
     add_common(table2)
@@ -100,6 +105,7 @@ def main(argv: list[str] | None = None) -> int:
         "resume": getattr(args, "resume", False),
         "store_path": getattr(args, "store", None),
         "cache_dir": getattr(args, "cache_dir", None),
+        "scheduler": not getattr(args, "no_scheduler", False),
     }
 
     sections: list[str] = []

@@ -49,6 +49,7 @@ class Table2Row:
     final_delta: float
     sdp_solves: int
     sdp_cache_hits: int
+    mps_walks: int = 0
 
     @property
     def improvement_over_worst_case(self) -> float:
@@ -120,6 +121,7 @@ def _assemble_row(
         final_delta=analysis.final_delta,
         sdp_solves=analysis.sdp_solves,
         sdp_cache_hits=analysis.sdp_cache_hits,
+        mps_walks=analysis.mps_walks,
     )
 
 
@@ -153,6 +155,7 @@ def run_table2(
     resume: bool = False,
     store_path: str | None = None,
     cache_dir: str | None = None,
+    scheduler: bool = True,
 ) -> Table2Result:
     """Regenerate Table 2 at the requested scale.
 
@@ -173,6 +176,8 @@ def run_table2(
             re-running them.
         store_path: JSONL result store making the sweep resumable.
         cache_dir: shared on-disk gate-bound cache for the engine workers.
+        scheduler: run the single-pass scheduled pipeline (default); False
+            forces the sequential per-gate path, mainly for comparisons.
     """
     if mps_width is None:
         mps_width = 128 if scale == "full" else 16
@@ -185,7 +190,9 @@ def run_table2(
             raise ExperimentError(f"unknown benchmarks requested: {sorted(missing)}")
 
     noise_model = _noise_model(bit_flip_probability)
-    run_config = (config or AnalysisConfig()).replace(mps_width=mps_width)
+    run_config = (config or AnalysisConfig()).replace(
+        mps_width=mps_width, scheduler=scheduler
+    )
     circuits = [spec.build() for spec in specs]
     jobs = [
         AnalysisJob.from_circuit(circuit, noise_model, config=run_config, name=spec.name)

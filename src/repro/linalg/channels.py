@@ -131,12 +131,14 @@ def choi_output_trace_map(choi: np.ndarray) -> np.ndarray:
 
     For a trace-preserving map this equals the identity on the input space;
     the dual of the diamond-norm SDP uses the same operation on the dual
-    variable Z (Section 6).
+    variable Z (Section 6).  Accepts a stack ``(..., d², d²)`` of Choi
+    matrices and maps each one, so the batch certification pass traces a
+    whole candidate stack in one call.
     """
     choi = np.asarray(choi, dtype=np.complex128)
-    dim = int(round(np.sqrt(choi.shape[0])))
-    tensor = choi.reshape(dim, dim, dim, dim)
-    return np.trace(tensor, axis1=0, axis2=2)
+    dim = int(round(np.sqrt(choi.shape[-1])))
+    tensor = choi.reshape(choi.shape[:-2] + (dim, dim, dim, dim))
+    return np.trace(tensor, axis1=-4, axis2=-2)
 
 
 def choi_is_trace_preserving(choi: np.ndarray, *, atol: float = 1e-8) -> bool:
@@ -180,7 +182,9 @@ class QuantumChannel:
 
     # -- constructors -----------------------------------------------------
     @classmethod
-    def from_kraus(cls, kraus: Sequence[np.ndarray], *, name: str | None = None) -> "QuantumChannel":
+    def from_kraus(
+        cls, kraus: Sequence[np.ndarray], *, name: str | None = None
+    ) -> "QuantumChannel":
         return cls(kraus, name=name)
 
     @classmethod

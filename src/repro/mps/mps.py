@@ -37,7 +37,9 @@ __all__ = ["MPS"]
 class MPS:
     """A matrix product state over qubits (physical dimension 2)."""
 
-    def __init__(self, tensors: Sequence[np.ndarray], *, center: int = 0, max_bond: int | None = None):
+    def __init__(
+        self, tensors: Sequence[np.ndarray], *, center: int = 0, max_bond: int | None = None
+    ):
         if not tensors:
             raise MPSError("an MPS needs at least one site")
         self._tensors = [np.asarray(t, dtype=np.complex128) for t in tensors]

@@ -210,7 +210,11 @@ class NoiseModel:
                 for qubits in sorted(self._by_qubits)
             ],
             "gate_qubit_rules": [
-                [gate_name, list(qubits), self._by_gate_and_qubits[(gate_name, qubits)].to_json_dict()]
+                [
+                    gate_name,
+                    list(qubits),
+                    self._by_gate_and_qubits[(gate_name, qubits)].to_json_dict(),
+                ]
                 for gate_name, qubits in sorted(self._by_gate_and_qubits)
             ],
         }

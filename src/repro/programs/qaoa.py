@@ -64,7 +64,9 @@ class QAOAParameters:
         return cls((float(gamma),), (float(beta),))
 
     @classmethod
-    def linear_ramp(cls, rounds: int, *, gamma_max: float = 0.8, beta_max: float = 0.6) -> "QAOAParameters":
+    def linear_ramp(
+        cls, rounds: int, *, gamma_max: float = 0.8, beta_max: float = 0.6
+    ) -> "QAOAParameters":
         """The standard linear-ramp initialisation of QAOA angles."""
         if rounds < 1:
             raise CircuitError("rounds must be at least 1")

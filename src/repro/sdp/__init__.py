@@ -9,11 +9,15 @@ from .kernel import (
     admm_solve_packed,
     admm_solve_packed_batch,
     get_layout,
+    positive_part_stack,
+    unpack_hermitian_stack,
 )
 from .certificates import (
     DualCertificate,
     certified_value,
+    certified_values_batch,
     repair_dual_candidate,
+    repair_dual_candidates_batch,
     verify_certificate,
 )
 from .diamond import (

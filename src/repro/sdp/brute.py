@@ -15,14 +15,11 @@ is fine for a lower bound.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-
 import numpy as np
 from scipy import optimize
 
 from ..linalg.channels import QuantumChannel, apply_kraus
-from ..linalg.norms import trace_norm, trace_norm_distance
-from ..linalg.states import random_density_matrix
+from ..linalg.norms import trace_norm
 from ..linalg.decompositions import nearest_density_matrix, purification
 
 __all__ = [
@@ -104,7 +101,9 @@ def diamond_lower_bound(
         best = max(best, achieved_error_for_input(noisy, ideal, rho))
 
     start = rng.normal(size=2 * dim * dim)
-    result = optimize.minimize(objective, start, method="Nelder-Mead", options={"maxiter": 400, "fatol": 1e-12})
+    result = optimize.minimize(
+        objective, start, method="Nelder-Mead", options={"maxiter": 400, "fatol": 1e-12}
+    )
     best = max(best, -float(result.fun))
     return best
 

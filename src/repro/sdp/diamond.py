@@ -41,19 +41,23 @@ from ..linalg.channels import (
     QuantumChannel,
     choi_output_trace_map,
     identity_channel,
-    unitary_channel,
 )
-from ..linalg.decompositions import positive_part
-from ..linalg.hermitian import hermitian_basis, hunvec, hvec
+from ..linalg.hermitian import hermitian_basis, hvec
 from ..linalg.norms import frobenius_norm, trace_norm
 from ..linalg.partial_trace import partial_trace_keep
 from .certificates import (
     DualCertificate,
-    certified_value,
-    repair_dual_candidate,
+    certified_values_batch,
+    repair_dual_candidates_batch,
     verify_certificate,
 )
-from .kernel import PackedSDP, admm_solve_packed, admm_solve_packed_batch, get_layout
+from .kernel import (
+    PackedSDP,
+    admm_solve_packed_batch,
+    get_layout,
+    positive_part_stack,
+    unpack_hermitian_stack,
+)
 from .problem import BlockVector, SDPProblem
 
 __all__ = [
@@ -310,25 +314,9 @@ def constrained_diamond_norm(
             constraint vacuous and the computation unconstrained.
         config: SDP engine configuration (mode, tolerances, iteration caps).
     """
-    config = config or SDPConfig()
-    config.validate()
-    prepared = _prepare_solve(choi, constraint_operator, constraint_bound)
-    if prepared.zero:
-        return _zero_bound(prepared)
-
-    result = None
-    packed = None
-    if config.mode in ("certified", "auto"):
-        template = _get_template(prepared.big, prepared.use_constraint)
-        packed = template.instantiate(
-            prepared.scaled_choi, prepared.operator, prepared.bound_c
-        )
-        result = admm_solve_packed(
-            packed,
-            max_iterations=config.max_iterations,
-            tolerance=config.tolerance,
-        )
-    return _finalise_solve(prepared, result, packed)
+    return constrained_diamond_norms_batch(
+        [(choi, constraint_operator, constraint_bound)], config=config
+    )[0]
 
 
 @dataclasses.dataclass
@@ -387,78 +375,101 @@ def _zero_bound(prepared: _PreparedSolve) -> DiamondNormBound:
     return DiamondNormBound(0.0, zero_cert, 0.0, method="exact-zero")
 
 
-def _finalise_solve(
-    prepared: _PreparedSolve,
-    result,
-    packed,
-) -> DiamondNormBound:
-    """Certify the dual candidates of one solve and assemble the bound.
+def _certify_solutions_batch(
+    group: list[_PreparedSolve],
+    results: list | None,
+    packeds: list[PackedSDP] | None,
+) -> list[DiamondNormBound]:
+    """Verify every dual certificate of one solve class in a single fused pass.
 
-    ``result``/``packed`` are the ADMM outcome and instantiated problem, or
-    None in fast mode (analytic J₊ candidate only).
+    ``group`` holds same-shaped prepared solves (one ``big``, one
+    ``use_constraint``); ``results``/``packeds`` are the aligned batched ADMM
+    outcomes and instantiated problems, or None in fast mode (analytic J₊
+    candidate only).
+
+    The per-request candidate loop of the historical path is replaced by
+    whole-stack operations: the dual slack blocks of *all* results are
+    unpacked with one :class:`~repro.sdp.kernel.BlockLayout` gather, every
+    candidate of every request is repaired with two batched PSD projections,
+    and the certified values (including the golden-section search over the
+    constraint multiplier) are computed for the full ``(request, candidate)``
+    stack at once.  Per-element arithmetic is independent of the batch
+    composition, so certifying a class in one fused pass is bit-identical to
+    certifying each gate on its own.
     """
-    scaled_choi = prepared.scaled_choi
-    scale = prepared.scale
-    big = prepared.big
-
+    chois = np.stack([p.scaled_choi for p in group])
+    big = group[0].big
+    use_constraint = group[0].use_constraint
     # Candidate 1: the analytic J₊ dual point (always feasible, no solve).
-    candidates: list[np.ndarray] = [positive_part(scaled_choi)]
-
-    primal_estimate = 0.0
-    iterations = 0
-    converged = True
-    method = "fast"
-    y_hint = None
-
-    if result is not None:
-        iterations = result.iterations
-        converged = result.converged
-        method = "certified"
-        # Primal estimate: tr(J W) with W the first block (objective was -J).
-        primal_estimate = -result.primal_objective * scale
+    candidates = positive_part_stack(chois)[:, None]
+    y_hints = None
+    if results is not None:
         # Dual multipliers of the coupling constraints reassemble into Z; the
         # dual slack blocks give two more candidates (S_W = Z - J, S_S = Z).
-        s_blocks = packed.layout.unpack_blocks(result.s_vec)
-        candidates.append(hunvec(result.y[: big * big], big))
-        candidates.append(s_blocks[0] + scaled_choi)
-        candidates.append(s_blocks[1])
-        if prepared.use_constraint:
-            # The multiplier of the predicate constraint seeds the 1-D search.
-            y_hint = abs(float(result.y[-1]))
-
-    best: DualCertificate | None = None
-    for candidate in candidates:
-        repaired = repair_dual_candidate(candidate, scaled_choi)
-        certificate = certified_value(
-            repaired,
-            scaled_choi,
-            constraint_operator=prepared.operator,
-            constraint_bound=prepared.bound_c,
-            y_hint=y_hint,
+        y_stack = np.stack([result.y for result in results])
+        s_stack = np.stack([result.s_vec for result in results])
+        layout = packeds[0].layout
+        big_group = next(g for g in layout.groups if g.dim == big)
+        s_blocks = layout.unpack_group(s_stack, big_group)
+        z_from_y = unpack_hermitian_stack(y_stack[:, : big * big], big)
+        candidates = np.concatenate(
+            [
+                candidates,
+                z_from_y[:, None],
+                (s_blocks[:, 0] + chois)[:, None],
+                s_blocks[:, 1][:, None],
+            ],
+            axis=1,
         )
-        if best is None or certificate.value < best.value:
-            best = certificate
-    assert best is not None
+        if use_constraint:
+            # The multiplier of the predicate constraint seeds the 1-D search.
+            y_hints = np.abs(y_stack[:, -1])[:, None]
 
-    # Undo the scaling: multiplying (Z, y) by `scale` keeps feasibility for the
-    # original Choi matrix and scales the dual objective linearly.
-    final = DualCertificate(
-        value=best.value * scale,
-        z=best.z * scale,
-        y=best.y * scale,
-        constraint_operator=best.constraint_operator,
-        constraint_bound=best.constraint_bound,
-    )
-    value = max(0.0, final.value)
-    return DiamondNormBound(
-        value=value,
-        certificate=final,
-        primal_estimate=max(0.0, primal_estimate),
-        method=method,
-        iterations=iterations,
-        converged=converged,
-        choi=prepared.choi,
-    )
+    repaired = repair_dual_candidates_batch(candidates, chois[:, None])
+    if use_constraint:
+        operators = np.stack(
+            [(p.operator + p.operator.conj().T) / 2 for p in group]
+        )
+        values, ys = certified_values_batch(
+            repaired,
+            constraint_operators=operators[:, None],
+            constraint_bounds=np.array([p.bound_c for p in group])[:, None],
+            y_hints=y_hints,
+        )
+    else:
+        operators = None
+        values, ys = certified_values_batch(repaired)
+
+    bounds: list[DiamondNormBound] = []
+    for index, prepared in enumerate(group):
+        best = int(np.argmin(values[index]))
+        scale = prepared.scale
+        # Undo the scaling: multiplying (Z, y) by `scale` keeps feasibility
+        # for the original Choi matrix and scales the dual objective linearly.
+        final = DualCertificate(
+            value=float(values[index, best]) * scale,
+            z=repaired[index, best] * scale,
+            y=float(ys[index, best]) * scale,
+            constraint_operator=operators[index] if use_constraint else None,
+            constraint_bound=prepared.bound_c,
+        )
+        result = results[index] if results is not None else None
+        # Primal estimate: tr(J W) with W the first block (objective was -J).
+        primal_estimate = (
+            -result.primal_objective * scale if result is not None else 0.0
+        )
+        bounds.append(
+            DiamondNormBound(
+                value=max(0.0, final.value),
+                certificate=final,
+                primal_estimate=max(0.0, primal_estimate),
+                method="certified" if result is not None else "fast",
+                iterations=result.iterations if result is not None else 0,
+                converged=result.converged if result is not None else True,
+                choi=prepared.choi,
+            )
+        )
+    return bounds
 
 
 def constrained_diamond_norms_batch(
@@ -470,11 +481,14 @@ def constrained_diamond_norms_batch(
 
     ``requests`` is a list of ``(choi, constraint_operator, constraint_bound)``
     triples.  Requests whose instantiated problems share a template shape are
-    solved by one batched ADMM run (:func:`repro.sdp.kernel.admm_solve_packed_batch`),
-    which turns the per-iteration cost of the whole batch into a handful of
-    batched numpy calls.  Certification stays per-request, so every returned
-    bound carries its own independently verified dual certificate, exactly as
-    in the sequential path.
+    solved by one batched ADMM run (:func:`repro.sdp.kernel.admm_solve_packed_batch`)
+    and their dual certificates verified by one fused certification pass
+    (:func:`_certify_solutions_batch`), which turns the per-iteration *and*
+    per-certificate cost of the whole batch into a handful of batched numpy
+    calls.  Every returned bound still carries its own independently verified
+    dual certificate, and :func:`constrained_diamond_norm` is a batch of one
+    through this same code, so batched and one-at-a-time results are
+    bit-identical.
     """
     config = config or SDPConfig()
     config.validate()
@@ -483,38 +497,35 @@ def constrained_diamond_norms_batch(
     ]
     bounds: list[DiamondNormBound | None] = [None] * len(prepared)
 
-    solve_indices: list[int] = []
-    if config.mode in ("certified", "auto"):
-        solve_indices = [i for i, p in enumerate(prepared) if not p.zero]
-    # In fast mode nothing is batch-solved; the fill loop at the end handles
-    # every request (analytic J₊ certification only).
-
+    solve = config.mode in ("certified", "auto")
+    # In fast mode nothing is batch-solved: the groups below are certified
+    # from the analytic J₊ candidate only.
     groups: dict[tuple[int, bool], list[int]] = {}
-    for index in solve_indices:
-        p = prepared[index]
-        groups.setdefault((p.big, p.use_constraint), []).append(index)
+    for index, p in enumerate(prepared):
+        if p.zero:
+            bounds[index] = _zero_bound(p)
+        else:
+            groups.setdefault((p.big, p.use_constraint), []).append(index)
 
     for (big, use_constraint), indices in groups.items():
-        template = _get_template(big, use_constraint)
-        packed_problems = [
-            template.instantiate(
-                prepared[i].scaled_choi, prepared[i].operator, prepared[i].bound_c
+        group = [prepared[i] for i in indices]
+        results = None
+        packed_problems = None
+        if solve:
+            template = _get_template(big, use_constraint)
+            packed_problems = [
+                template.instantiate(p.scaled_choi, p.operator, p.bound_c)
+                for p in group
+            ]
+            results = admm_solve_packed_batch(
+                packed_problems,
+                max_iterations=config.max_iterations,
+                tolerance=config.tolerance,
             )
-            for i in indices
-        ]
-        results = admm_solve_packed_batch(
-            packed_problems,
-            max_iterations=config.max_iterations,
-            tolerance=config.tolerance,
-        )
-        for request_index, packed, result in zip(indices, packed_problems, results):
-            bounds[request_index] = _finalise_solve(
-                prepared[request_index], result, packed
-            )
-
-    for index, p in enumerate(prepared):
-        if bounds[index] is None:
-            bounds[index] = _zero_bound(p) if p.zero else _finalise_solve(p, None, None)
+        for request_index, bound in zip(
+            indices, _certify_solutions_batch(group, results, packed_problems)
+        ):
+            bounds[request_index] = bound
     return bounds  # type: ignore[return-value]
 
 
@@ -957,9 +968,10 @@ class GateBoundCache:
                 )
                 choi = data["choi"]
                 # The reported value is reconstructed from the certificate
-                # (exactly as _finalise_solve does), never read from disk: the
-                # certificate is what gets re-verified below, so a tampered
-                # standalone value field could otherwise bypass validation.
+                # (exactly as _certify_solutions_batch does), never read from
+                # disk: the certificate is what gets re-verified below, so a
+                # tampered standalone value field could otherwise bypass
+                # validation.
                 bound = DiamondNormBound(
                     value=max(0.0, certificate.value),
                     certificate=certificate,

@@ -51,6 +51,8 @@ __all__ = [
     "admm_solve_packed",
     "admm_solve_packed_batch",
     "get_layout",
+    "positive_part_stack",
+    "unpack_hermitian_stack",
 ]
 
 _SQRT2 = np.sqrt(2.0)
@@ -211,6 +213,49 @@ class BlockLayout:
             ) @ eigenvectors.conj().swapaxes(-1, -2)
             self.pack_group(projected, group, out)
         return out
+
+
+# ---------------------------------------------------------------------------
+# Stacked Hermitian primitives (shared by the batch certification pass)
+# ---------------------------------------------------------------------------
+
+def positive_part_stack(matrices: np.ndarray) -> np.ndarray:
+    """Positive part ``A_+`` of a stack of Hermitian matrices, one batched eigh.
+
+    Accepts any leading batch shape ``(..., d, d)``; each matrix is
+    symmetrised first, exactly like :func:`repro.linalg.decompositions.positive_part`
+    does for a single matrix.  Per-element results are independent of the
+    batch composition, which is what lets the fused certification pass
+    produce bit-identical bounds to one-at-a-time certification.
+    """
+    matrices = np.asarray(matrices, dtype=np.complex128)
+    matrices = (matrices + matrices.conj().swapaxes(-1, -2)) / 2
+    eigenvalues, eigenvectors = np.linalg.eigh(matrices)
+    eigenvalues = np.clip(eigenvalues, 0.0, None)
+    return (eigenvectors * eigenvalues[..., None, :]) @ eigenvectors.conj().swapaxes(
+        -1, -2
+    )
+
+
+def unpack_hermitian_stack(vectors: np.ndarray, n: int) -> np.ndarray:
+    """Batched ``hunvec``: packed-real ``(..., n*n)`` → Hermitian ``(..., n, n)``.
+
+    Reuses the :class:`BlockLayout` gather machinery of a single-block layout,
+    whose packed-real embedding is the same isometry as
+    :func:`repro.linalg.hermitian.hvec` (diagonal first, then ``sqrt(2)``-scaled
+    real and imaginary strict-upper triangles).
+    """
+    vectors = np.asarray(vectors, dtype=float)
+    if vectors.shape[-1] != n * n:
+        raise ValueError(
+            f"expected trailing dimension {n * n} for side length {n}, "
+            f"got {vectors.shape[-1]}"
+        )
+    if n == 1:
+        return vectors.astype(np.complex128)[..., None]
+    layout = get_layout((n,))
+    matrices = layout.unpack_group(vectors, layout.groups[0])
+    return matrices[..., 0, :, :]
 
 
 _LAYOUT_CACHE: dict[tuple[int, ...], BlockLayout] = {}

@@ -15,12 +15,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..circuits.circuit import Circuit
-from ..circuits.program import GateOp, IfMeasure, Program, Seq, Skip
+from ..circuits.program import GateOp, Program
 from ..config import ResourceGuard
 from ..errors import SimulationError
 from ..linalg.norms import trace_distance, trace_norm_distance
 from ..noise.model import NoiseModel
-from .density import DensityMatrixSimulator, measurement_projectors
+from .density import DensityMatrixSimulator
 
 __all__ = ["NoisyDensityMatrixSimulator", "simulate_noisy_density", "exact_program_error"]
 

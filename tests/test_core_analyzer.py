@@ -1,6 +1,5 @@
 """End-to-end tests of the Gleipnir analyzer, including the key soundness property."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.circuits import Circuit, GateOp, IfMeasure, Seq, Skip, gate_op, seq
+from repro.circuits import Circuit, IfMeasure, Skip, gate_op, seq
 from repro.circuits import gates as gate_lib
 from repro.core import (
     GlobalPredicate,
@@ -17,7 +17,7 @@ from repro.core import (
     weaken_rule,
 )
 from repro.errors import LogicError
-from repro.linalg import identity_channel, pure_density, zero_state
+from repro.linalg import pure_density, zero_state
 from repro.noise import bit_flip
 from repro.sdp import gate_error_bound
 from repro.config import SDPConfig

@@ -10,7 +10,7 @@ from repro.circuits.program import IfMeasure, Skip, seq
 from repro.config import AnalysisConfig, SDPConfig
 from repro.core.analyzer import GleipnirAnalyzer
 from repro.linalg import HADAMARD, pure_density, zero_state
-from repro.noise import NoiseModel, bit_flip
+from repro.noise import bit_flip
 from repro.sdp import GateBoundCache, gate_error_bound
 
 

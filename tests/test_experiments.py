@@ -9,7 +9,6 @@ import numpy as np
 import pytest
 
 from repro.config import AnalysisConfig, SDPConfig
-from repro.devices import CouplingMap, boeblingen_calibration
 from repro.errors import ExperimentError
 from repro.experiments import (
     default_mapping_experiments,

@@ -19,7 +19,6 @@ from repro.linalg import (
     choi_to_liouville,
     identity_channel,
     is_cptp_kraus,
-    kraus_to_choi,
     kraus_to_liouville,
     liouville_to_choi,
     maximally_mixed,

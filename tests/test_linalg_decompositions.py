@@ -1,7 +1,6 @@
 """Unit tests for spectral helpers (positive parts, projections, purification)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

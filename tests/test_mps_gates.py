@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.circuits import Circuit
 from repro.errors import MPSError
-from repro.linalg import CNOT, HADAMARD, PAULI_X, SWAP, ghz_state, pure_density, trace_norm_distance
+from repro.linalg import CNOT, HADAMARD, PAULI_X, ghz_state, pure_density, trace_norm_distance
 from repro.mps import MPS, split_theta, TruncationInfo
 from repro.semantics import simulate_statevector
 

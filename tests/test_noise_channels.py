@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import NoiseModelError
-from repro.linalg import PAULI_X, pure_density, zero_state, plus_state
+from repro.linalg import pure_density, zero_state, plus_state
 from repro.noise import (
     amplitude_damping,
     bit_flip,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.circuits import Circuit, GateOp, IfMeasure, Skip, gate_op, seq
+from repro.circuits import Circuit, IfMeasure, Skip, gate_op, seq
 from repro.circuits import gates as gate_lib
 from repro.config import ResourceGuard
 from repro.errors import ResourceLimitExceeded

@@ -5,7 +5,7 @@ import pytest
 
 from repro.circuits import Circuit
 from repro.errors import SimulationError
-from repro.linalg import pure_density, trace_distance, basis_state
+from repro.linalg import trace_distance, basis_state
 from repro.noise import NoiseModel, bit_flip
 from repro.semantics import (
     NoisyDensityMatrixSimulator,
