@@ -51,6 +51,12 @@ def run_perf(check_only: bool) -> int:
         f"per-gate over {certification['unique_classes']} classes "
         f"(bit-identical: {certification['bit_identical']})"
     )
+    reductions = payload["batched_reduction_microbench"]
+    print(
+        f"batched reductions: {reductions['reduction_speedup']:.1f}x stacked vs "
+        f"per-instance over {reductions['unique_classes']} classes "
+        f"(bit-identical: {reductions['bit_identical']})"
+    )
     print(
         f"single pass: {scheduled['mps_walks']} MPS walk(s), scheduled == "
         f"sequential bounds: "
@@ -58,6 +64,23 @@ def run_perf(check_only: bool) -> int:
     )
 
     if check_only:
+        # The perf gate covers the batched-reduction path: the front door of
+        # the scheduled workload must stay bit-identical to the per-instance
+        # reductions, not just fast.
+        if not reductions["bit_identical"]:
+            print(
+                "REGRESSION: batched structural reductions are no longer "
+                "bit-identical to the per-instance path",
+                file=sys.stderr,
+            )
+            return 1
+        if not certification["bit_identical"]:
+            print(
+                "REGRESSION: batched certification is no longer bit-identical "
+                "to the per-gate path",
+                file=sys.stderr,
+            )
+            return 1
         baseline = bench_perf.load_baseline()
         if baseline is None:
             print("no committed BENCH_perf.json; nothing to compare against")

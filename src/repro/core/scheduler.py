@@ -44,7 +44,11 @@ from ..config import AnalysisConfig
 from ..errors import LogicError
 from ..mps.approximator import MPSApproximator
 from ..noise.model import NoiseModel
-from ..sdp.diamond import GateBoundCache, gate_error_bounds_batch
+from ..sdp.diamond import (
+    GateBoundCache,
+    gate_error_bounds_batch,
+    reduced_problem_dim,
+)
 from .analyzer import vacuous_branch_approximator
 from .derivation import ReplayTape, TapeGate, TapeMeasure, TapeSkip
 
@@ -140,6 +144,15 @@ class BoundScheduler:
         if workers <= 1:
             self._solve_chunk(pending)
         else:
+            # Strided chunks over a shape-sorted order (stable sort, so
+            # deterministic): every worker receives an even share of each
+            # reduced problem shape, regardless of how the collection pass
+            # interleaved them.  This balances the solve cost across threads
+            # — expensive unreduced dim-4 classes spread out instead of
+            # clustering in whichever chunk their gates happened to land —
+            # while the batch solver still groups each chunk by template
+            # internally.
+            pending.sort(key=lambda c: reduced_problem_dim(c.noise_channel))
             chunks = [pending[index::workers] for index in range(workers)]
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 list(pool.map(self._solve_chunk, chunks))

@@ -51,7 +51,10 @@ def _wall_clock_budget(seconds: float | None):
 
     Uses ``signal.setitimer``, which only works on POSIX main threads; in any
     other context (Windows, service batcher threads) the budget degrades to
-    unenforced rather than failing the job.
+    unenforced rather than failing the job.  A displaced ``ITIMER_REAL`` is
+    restored on exit (minus the time the job ran), and a shorter one-shot
+    outer deadline takes priority over the job's own budget — see the
+    comments below.
     """
     usable = (
         seconds is not None
@@ -63,18 +66,51 @@ def _wall_clock_budget(seconds: float | None):
         yield
         return
 
+    # A caller (an outer budget, or any library using ITIMER_REAL) may have a
+    # timer ticking; tearing down with a plain 0.0 would silently cancel it.
+    # A *one-shot* outer deadline shorter than our budget additionally keeps
+    # priority: its remaining time is armed instead of our budget and the
+    # expiry is forwarded to the outer handler, so an outer deadline is never
+    # overshot nor misreported as this job's timeout.  Periodic timers (a
+    # signal-based profiler's 10ms tick) never clamp the budget — they miss
+    # their ticks while the job runs and resume on exit.
+    outer_remaining, outer_interval = previous_timer = signal.getitimer(
+        signal.ITIMER_REAL
+    )
+    clamped = outer_interval == 0.0 and 0.0 < outer_remaining < float(seconds)
+    forwarded = False
+
     def _expired(signum, frame):
+        nonlocal forwarded
+        if clamped and callable(previous_handler):
+            forwarded = True
+            previous_handler(signum, frame)
+            return
         raise ResourceLimitExceeded(
             f"analysis exceeded its wall-clock budget of {seconds:g}s"
         )
 
-    previous = signal.signal(signal.SIGALRM, _expired)
-    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    previous_handler = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(
+        signal.ITIMER_REAL, outer_remaining if clamped else float(seconds)
+    )
+    started = time.monotonic()
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+        signal.signal(signal.SIGALRM, previous_handler)
+        remaining, interval = previous_timer
+        # A displaced timer with it_value == 0 was disarmed, and a forwarded
+        # one-shot deadline is consumed; re-arming either would wrongly fire
+        # the outer handler (again).
+        if remaining > 0.0 and not forwarded:
+            # Re-arm the displaced timer with whatever it has left; if it
+            # expired while our budget ran, fire it as soon as possible.
+            elapsed = time.monotonic() - started
+            signal.setitimer(
+                signal.ITIMER_REAL, max(remaining - elapsed, 1e-6), interval
+            )
 
 
 def _prepared_config(job: AnalysisJob, cache_dir: str | None) -> AnalysisConfig:

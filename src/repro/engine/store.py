@@ -60,11 +60,16 @@ class ResultStore:
             self._results[result.fingerprint] = result
 
     # -- queries -------------------------------------------------------------
+    # Every read takes the lock: the service batcher thread calls put() while
+    # request handlers read, and an unlocked dict read racing a mutation is
+    # exactly the kind of bug that only fires under load.
     def __len__(self) -> int:
-        return len(self._results)
+        with self._lock:
+            return len(self._results)
 
     def __contains__(self, fingerprint: str) -> bool:
-        return fingerprint in self._results
+        with self._lock:
+            return fingerprint in self._results
 
     @property
     def skipped_lines(self) -> int:
@@ -72,11 +77,13 @@ class ResultStore:
         return self._skipped_lines
 
     def get(self, fingerprint: str) -> JobResult | None:
-        return self._results.get(fingerprint)
+        with self._lock:
+            return self._results.get(fingerprint)
 
     def completed(self, fingerprint: str) -> bool:
         """Whether the store holds a successful result for this fingerprint."""
-        result = self._results.get(fingerprint)
+        with self._lock:
+            result = self._results.get(fingerprint)
         return result is not None and result.ok
 
     def results(self) -> dict[str, JobResult]:
@@ -86,22 +93,41 @@ class ResultStore:
 
     def missing(self, fingerprints: Iterable[str]) -> list[str]:
         """The fingerprints that still need (re-)execution under resume."""
-        return [fp for fp in fingerprints if not self.completed(fp)]
+        snapshot = self.results()  # one locked snapshot, not a lock per query
+        return [
+            fp
+            for fp in fingerprints
+            if fp not in snapshot or not snapshot[fp].ok
+        ]
 
     # -- mutation ------------------------------------------------------------
     def put(self, result: JobResult) -> None:
         """Record one result: append a line, then update the in-memory map."""
-        line = canonical_json(result.to_json_dict())
+        self.put_many([result])
+
+    def put_many(self, results: Iterable[JobResult]) -> None:
+        """Record many results with one append and one flush/fsync.
+
+        All lines are written in a single ``write`` call, so the append keeps
+        the line-level atomicity contract (a kill can truncate at most the
+        tail of the payload, which the loader heals) while paying the fsync
+        latency once per batch instead of once per result.
+        """
+        results = list(results)
+        if not results:
+            return
+        lines = [canonical_json(result.to_json_dict()) for result in results]
+        payload = "".join(line + "\n" for line in lines)
         with self._lock:
             with open(self.path, "a", encoding="utf-8") as handle:
                 if self._needs_newline:
-                    handle.write("\n")
-                    self._needs_newline = False
-                handle.write(line + "\n")
+                    payload = "\n" + payload
+                handle.write(payload)
                 handle.flush()
                 os.fsync(handle.fileno())
-            self._results[result.fingerprint] = result
-
-    def put_many(self, results: Iterable[JobResult]) -> None:
-        for result in results:
-            self.put(result)
+                # Only after the healing newline is durably on disk: a failed
+                # write must leave the flag set so a retry still heals the
+                # truncated tail instead of gluing onto it.
+                self._needs_newline = False
+            for result in results:
+                self._results[result.fingerprint] = result

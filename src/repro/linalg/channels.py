@@ -32,6 +32,8 @@ from .partial_trace import partial_trace_keep
 __all__ = [
     "QuantumChannel",
     "kraus_to_choi",
+    "choi_stack",
+    "unitary_conjugate_stack",
     "choi_to_kraus",
     "kraus_to_liouville",
     "liouville_to_choi",
@@ -63,13 +65,65 @@ def apply_kraus(kraus: Sequence[np.ndarray], rho: np.ndarray) -> np.ndarray:
 
 
 def kraus_to_choi(kraus: Sequence[np.ndarray]) -> np.ndarray:
-    """Choi matrix ``J = sum_k vec(K_k) vec(K_k)^dagger`` (output ⊗ input)."""
-    vectors = [_vec(k) for k in kraus]
-    dim_out, dim_in = np.asarray(kraus[0]).shape
-    choi = np.zeros((dim_out * dim_in, dim_out * dim_in), dtype=np.complex128)
-    for v in vectors:
-        choi += np.outer(v, v.conj())
-    return choi
+    """Choi matrix ``J = sum_k vec(K_k) vec(K_k)^dagger`` (output ⊗ input).
+
+    Computed as one Gram product ``V^T V*`` over the stacked Kraus vectors —
+    the same formula :func:`choi_stack` applies to a whole group of channels
+    at once, so a channel's Choi matrix is bit-identical whether it was
+    computed alone or as part of a stacked group.
+    """
+    vectors = np.stack([_vec(k) for k in kraus])
+    return vectors.T @ vectors.conj()
+
+
+def choi_stack(channels: Sequence["QuantumChannel"]) -> np.ndarray:
+    """Stacked Choi matrices ``(len(channels), d*d', d*d')`` of same-arity channels.
+
+    All channels must share one ``(dim_out, dim_in)``.  Channels that already
+    cached their Choi matrix contribute the cached array; the remaining ones
+    are computed with one batched Gram product per distinct Kraus count and
+    the results are written back into each channel's cache, so a later
+    ``channel.choi()`` call returns the identical array.  Per-channel results
+    are independent of the group composition (each Gram product only sees its
+    own channel's Kraus vectors), which keeps batched and one-at-a-time
+    reductions bit-identical.
+    """
+    if not channels:
+        raise NoiseModelError("choi_stack needs at least one channel")
+    shape = (channels[0].dim_out, channels[0].dim_in)
+    if any((ch.dim_out, ch.dim_in) != shape for ch in channels):
+        raise NoiseModelError("choi_stack requires channels of one arity")
+    missing: dict[int, list[int]] = {}
+    for index, channel in enumerate(channels):
+        if channel._choi is None:
+            missing.setdefault(len(channel.kraus), []).append(index)
+    for indices in missing.values():
+        # One (C, K, D) stack per Kraus count: J_c = V_c^T V_c* as a batched
+        # Gram product, no padding, so each element matches kraus_to_choi.
+        vectors = np.stack(
+            [
+                np.stack([_vec(k) for k in channels[i].kraus])
+                for i in indices
+            ]
+        )
+        chois = vectors.swapaxes(-1, -2) @ vectors.conj()
+        for row, index in enumerate(indices):
+            channels[index]._choi = chois[row]
+    return np.stack([channel.choi() for channel in channels])
+
+
+def unitary_conjugate_stack(unitaries: np.ndarray, states: np.ndarray) -> np.ndarray:
+    """Batched conjugation ``U rho U^dagger`` over stacks of matrices.
+
+    ``unitaries`` and ``states`` broadcast against each other on their leading
+    axes; the result per element is bit-identical to conjugating that element
+    alone (stacked matmul applies the same per-element GEMM).  Used by the
+    batched structural-reduction front-end to push local predicates through
+    the ideal gates of a whole request in two matmuls.
+    """
+    unitaries = np.asarray(unitaries, dtype=np.complex128)
+    states = np.asarray(states, dtype=np.complex128)
+    return unitaries @ states @ unitaries.conj().swapaxes(-1, -2)
 
 
 def choi_to_kraus(choi: np.ndarray, *, atol: float = 1e-10) -> list[np.ndarray]:

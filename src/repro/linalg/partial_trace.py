@@ -49,9 +49,29 @@ def partial_trace_keep(rho: np.ndarray, keep: Sequence[int]) -> np.ndarray:
     Unlike :func:`partial_trace`, the output qubit order follows the order of
     the ``keep`` argument, which lets callers obtain e.g. the reduced state on
     ``(control, target)`` of a CNOT regardless of their register positions.
+
+    Accepts a stack ``(..., 2**n, 2**n)`` of density matrices and reduces each
+    one; the per-element contraction is independent of the batch composition,
+    so reducing a stack is bit-identical to reducing each matrix on its own.
+    A single matrix (or state vector) returns a single reduced matrix, exactly
+    as before.
     """
-    rho = density_matrix(rho)
-    n = num_qubits_of(rho)
+    rho = np.asarray(rho)
+    if rho.ndim > 2:
+        rho = np.asarray(rho, dtype=np.complex128)
+        if rho.shape[-1] != rho.shape[-2]:
+            raise SimulationError(
+                f"expected a stack of square matrices, got shape {rho.shape}"
+            )
+        dim = rho.shape[-1]
+        n = int(round(np.log2(dim))) if dim > 0 else 0
+        if dim <= 0 or 2**n != dim:
+            raise SimulationError(f"dimension {dim} is not a power of two")
+    else:
+        rho = density_matrix(rho)
+        n = num_qubits_of(rho)
+    batch = rho.shape[:-2]
+    nb = len(batch)
     keep = [int(q) for q in keep]
     if len(set(keep)) != len(keep):
         raise SimulationError(f"duplicate qubits in {keep}")
@@ -59,21 +79,19 @@ def partial_trace_keep(rho: np.ndarray, keep: Sequence[int]) -> np.ndarray:
         raise SimulationError(f"qubits {keep} outside register of {n} qubits")
 
     traced = [q for q in range(n) if q not in keep]
-    tensor = rho.reshape([2] * (2 * n))
-    # Row axes are 0..n-1, column axes are n..2n-1.
+    tensor = rho.reshape(batch + (2,) * (2 * n))
+    # Row axes are 0..n-1, column axes are n..2n-1 (after the batch axes).
     # Move kept row axes first (in keep order), then kept column axes, then
     # pair up the traced axes and contract.
-    perm = (
-        keep
-        + [n + q for q in keep]
-        + traced
-        + [n + q for q in traced]
-    )
+    perm = list(range(nb)) + [
+        nb + axis
+        for axis in keep + [n + q for q in keep] + traced + [n + q for q in traced]
+    ]
     tensor = tensor.transpose(perm)
     k = len(keep)
     t = len(traced)
-    tensor = tensor.reshape(2**k, 2**k, 2**t, 2**t)
-    return np.trace(tensor, axis1=2, axis2=3)
+    tensor = tensor.reshape(batch + (2**k, 2**k, 2**t, 2**t))
+    return np.trace(tensor, axis1=-2, axis2=-1)
 
 
 def reduced_density_matrix(rho: np.ndarray, qubits: Sequence[int]) -> np.ndarray:

@@ -58,6 +58,17 @@ __all__ = [
 #: one element never depend on the rest of the batch.
 GOLDEN_SECTION_ITERATIONS = 80
 
+#: Split of the shared-bracket search (``share_bracket=True``): the bracket
+#: is first refined on one *pilot* candidate per request (the best candidate
+#: at the initial probes), then every candidate polishes independently inside
+#: the shared bracket.  40 pilot iterations shrink the bracket by ~4e-9
+#: relative and 24 polish iterations by another ~1e-5, so the pilot — almost
+#: always the winning candidate — is located to ~1e-13 relative while the
+#: per-candidate eigenvalue work drops from 80 full-stack sweeps to 24.
+#: Counts are fixed for the same composition-independence reason as above.
+GOLDEN_SECTION_SHARED_ITERATIONS = 40
+GOLDEN_SECTION_POLISH_ITERATIONS = 24
+
 _INVPHI = (np.sqrt(5.0) - 1.0) / 2.0
 _INVPHI2 = (3.0 - np.sqrt(5.0)) / 2.0
 
@@ -143,6 +154,7 @@ def certified_values_batch(
     constraint_operators: np.ndarray | None = None,
     constraint_bounds: np.ndarray | None = None,
     y_hints: np.ndarray | None = None,
+    share_bracket: bool = False,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Certified dual objectives for a stack of feasible ``Z``, fully fused.
 
@@ -155,6 +167,16 @@ def certified_values_batch(
             are treated as unconstrained.
         y_hints: per-element warm starts for the multiplier search (NaN or
             non-positive entries are ignored).
+        share_bracket: treat the *last* leading axis of ``zs`` as the
+            candidate axis of one request (shape ``(..., C, d, d)``), whose
+            candidates share one constraint: the golden-section bracket is
+            refined on a per-request pilot candidate and only then polished
+            per candidate, cutting the full-stack eigenvalue sweeps from
+            :data:`GOLDEN_SECTION_ITERATIONS` to
+            :data:`GOLDEN_SECTION_POLISH_ITERATIONS` (plus the cheap pilot
+            phase).  Requires the constraint operator and bound of a request
+            to be uniform along the candidate axis, as the batch
+            certification pass guarantees.
 
     Returns:
         ``(values, ys)`` — per-element certified bounds and the multipliers
@@ -180,6 +202,14 @@ def certified_values_batch(
     operators = _symmetrise_stack(np.asarray(constraint_operators, np.complex128))
     operators = np.broadcast_to(operators, lead + operators.shape[-2:])
     bounds = np.broadcast_to(np.asarray(constraint_bounds, dtype=float), lead)
+    if share_bracket:
+        if zs.ndim < 4:
+            raise CertificationError(
+                "share_bracket requires a (..., candidates, d, d) stack"
+            )
+        return _certified_values_shared(
+            values, ys, reduced, operators, bounds, y_hints, lead
+        )
     active = bounds > 0.0
     if not np.any(active):
         return values, ys
@@ -246,6 +276,157 @@ def certified_values_batch(
     values[active] = best_value
     ys[active] = best_y
     return values, ys
+
+
+def _certified_values_shared(
+    values: np.ndarray,
+    ys: np.ndarray,
+    reduced: np.ndarray,
+    operators: np.ndarray,
+    bounds: np.ndarray,
+    y_hints: np.ndarray | None,
+    lead: tuple[int, ...],
+) -> tuple[np.ndarray, np.ndarray]:
+    """The shared-bracket multiplier search of :func:`certified_values_batch`.
+
+    One request = one row of the flattened ``(requests, candidates)`` stack.
+    Every evaluated point is itself a sound bound for the candidate it was
+    evaluated on, and the best evaluated ``(y, value)`` per candidate is
+    returned — the pilot phase only decides *where* the polish phase looks,
+    never what is reported.  All arithmetic is per-request, so results are
+    independent of which other requests share the batch (the per-gate entry
+    points are batches of one through this same code).
+    """
+    cand = lead[-1]
+    r_all = int(np.prod(lead[:-1]))
+    dim = operators.shape[-1]
+    red = reduced.reshape(r_all, cand, dim, dim)
+    ops = operators.reshape(r_all, cand, dim, dim)
+    bnds = bounds.reshape(r_all, cand)
+    out_values = values.reshape(r_all, cand).copy()
+    out_ys = ys.reshape(r_all, cand).copy()
+
+    active = np.any(bnds > 0.0, axis=1)
+    if not np.any(active):
+        return out_values.reshape(lead), out_ys.reshape(lead)
+
+    flat_reduced = red[active]
+    flat_ops = ops[active]
+    flat_bounds = bnds[active]
+    flat_base = out_values[active]  # λ_max at y = 0
+    count = flat_reduced.shape[0]
+    rows = np.arange(count)
+
+    def objective(y: np.ndarray) -> np.ndarray:
+        matrices = flat_reduced + y[..., None, None] * flat_ops
+        eigenvalues = np.linalg.eigvalsh(matrices)
+        return eigenvalues.max(axis=-1) - y * flat_bounds
+
+    best_value = flat_base.copy()
+    best_y = np.zeros_like(flat_base)
+
+    def consider(y: np.ndarray, value: np.ndarray, mask: np.ndarray | None = None) -> None:
+        nonlocal best_value, best_y
+        better = value < best_value
+        if mask is not None:
+            better &= mask
+        best_value = np.where(better, value, best_value)
+        best_y = np.where(better, y, best_y)
+
+    # The useful range of y scales like λ_max(Tr_out Z) / c; the request's
+    # shared bracket must cover every candidate, hence the max over the
+    # candidate axis below.
+    upper = 10.0 * (flat_base / flat_bounds + 1.0)
+    if y_hints is not None:
+        hints = np.broadcast_to(np.asarray(y_hints, dtype=float), lead)
+        hints = hints.reshape(r_all, cand)[active]
+        valid = np.isfinite(hints) & (hints > 0.0)
+        if np.any(valid):
+            safe = np.where(valid, hints, 0.0)
+            consider(safe, objective(safe), valid)
+            upper = np.where(valid, np.maximum(upper, 10.0 * hints), upper)
+    upper = np.maximum(upper.max(axis=1), 0.0)  # one bracket per request
+
+    low = np.zeros(count)
+    high = upper
+    width = high - low
+    x1 = low + _INVPHI2 * width
+    x2 = low + _INVPHI * width
+    x1_all = np.broadcast_to(x1[:, None], (count, cand))
+    x2_all = np.broadcast_to(x2[:, None], (count, cand))
+    f1_all = objective(x1_all)
+    f2_all = objective(x2_all)
+    consider(x1_all, f1_all)
+    consider(x2_all, f2_all)
+
+    # Pilot phase: refine the bracket on the best candidate seen so far.
+    pilot = np.argmin(best_value, axis=1)
+    pilot_reduced = flat_reduced[rows, pilot]
+    pilot_ops = flat_ops[rows, pilot]
+    pilot_bounds = flat_bounds[rows, pilot]
+
+    def pilot_objective(y: np.ndarray) -> np.ndarray:
+        matrices = pilot_reduced + y[:, None, None] * pilot_ops
+        eigenvalues = np.linalg.eigvalsh(matrices)
+        return eigenvalues.max(axis=-1) - y * pilot_bounds
+
+    def consider_pilot(y: np.ndarray, value: np.ndarray) -> None:
+        better = value < best_value[rows, pilot]
+        if np.any(better):
+            best_value[rows[better], pilot[better]] = value[better]
+            best_y[rows[better], pilot[better]] = y[better]
+
+    f1 = f1_all[rows, pilot]
+    f2 = f2_all[rows, pilot]
+    for _ in range(GOLDEN_SECTION_SHARED_ITERATIONS):
+        take_left = f1 < f2
+        low = np.where(take_left, low, x1)
+        high = np.where(take_left, x2, high)
+        width = high - low
+        probe = np.where(take_left, low + _INVPHI2 * width, low + _INVPHI * width)
+        f_probe = pilot_objective(probe)
+        x1, x2 = (
+            np.where(take_left, probe, x2),
+            np.where(take_left, x1, probe),
+        )
+        f1, f2 = (
+            np.where(take_left, f_probe, f2),
+            np.where(take_left, f1, f_probe),
+        )
+        consider_pilot(probe, f_probe)
+
+    # Polish phase: every candidate searches the shared bracket on its own.
+    low_c = np.broadcast_to(low[:, None], (count, cand))
+    high_c = np.broadcast_to(high[:, None], (count, cand))
+    width_c = high_c - low_c
+    x1_c = low_c + _INVPHI2 * width_c
+    x2_c = low_c + _INVPHI * width_c
+    f1_c = objective(x1_c)
+    f2_c = objective(x2_c)
+    consider(x1_c, f1_c)
+    consider(x2_c, f2_c)
+    for _ in range(GOLDEN_SECTION_POLISH_ITERATIONS):
+        take_left = f1_c < f2_c
+        low_c = np.where(take_left, low_c, x1_c)
+        high_c = np.where(take_left, x2_c, high_c)
+        width_c = high_c - low_c
+        probe = np.where(
+            take_left, low_c + _INVPHI2 * width_c, low_c + _INVPHI * width_c
+        )
+        f_probe = objective(probe)
+        x1_c, x2_c = (
+            np.where(take_left, probe, x2_c),
+            np.where(take_left, x1_c, probe),
+        )
+        f1_c, f2_c = (
+            np.where(take_left, f_probe, f2_c),
+            np.where(take_left, f1_c, f_probe),
+        )
+        consider(probe, f_probe)
+
+    out_values[active] = best_value
+    out_ys[active] = best_y
+    return out_values.reshape(lead), out_ys.reshape(lead)
 
 
 def certified_value(

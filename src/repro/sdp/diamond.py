@@ -31,6 +31,7 @@ import dataclasses
 import hashlib
 import os
 import threading
+import weakref
 
 import numpy as np
 import scipy.linalg
@@ -40,7 +41,9 @@ from ..errors import SDPError
 from ..linalg.channels import (
     QuantumChannel,
     choi_output_trace_map,
+    choi_stack,
     identity_channel,
+    unitary_conjugate_stack,
 )
 from ..linalg.hermitian import hermitian_basis, hvec
 from ..linalg.norms import frobenius_norm, trace_norm
@@ -55,6 +58,7 @@ from .kernel import (
     PackedSDP,
     admm_solve_packed_batch,
     get_layout,
+    pack_hermitian_stack,
     positive_part_stack,
     unpack_hermitian_stack,
 )
@@ -69,6 +73,7 @@ __all__ = [
     "rho_delta_diamond_norm",
     "q_lambda_diamond_norm",
     "rho_delta_constraint_bound",
+    "reduced_problem_dim",
     "gate_error_bound",
     "gate_error_bounds_batch",
     "GateBoundCache",
@@ -237,43 +242,78 @@ class _ShapeTemplate:
         bound_c: float,
     ) -> PackedSDP:
         """A ready-to-iterate packed problem for one (Choi, predicate) pair."""
-        c = np.zeros(self.n)
-        c[: self.bb] = -hvec(scaled_choi)
+        return self.instantiate_batch(
+            [scaled_choi], [operator], [bound_c]
+        )[0]
+
+    def instantiate_batch(
+        self,
+        scaled_chois: list[np.ndarray],
+        operators: list[np.ndarray | None],
+        bounds_c: list[float],
+    ) -> list[PackedSDP]:
+        """Ready-to-iterate packed problems for a whole solve class.
+
+        The objective vectors (and, when constrained, the predicate rows) of
+        all requests are written with one batched pack
+        (:func:`repro.sdp.kernel.pack_hermitian_stack`, the exact elementwise
+        operations of ``hvec``), so instantiation does no per-request Python
+        matrix work beyond the rank-one Cholesky row append — which stays
+        per-problem because its triangular solve must remain bit-identical
+        between batch sizes.
+        """
+        count = len(scaled_chois)
+        c = np.zeros((count, self.n))
+        c[:, : self.bb] = -pack_hermitian_stack(np.stack(scaled_chois))
         if not self.use_constraint:
-            return PackedSDP(
-                a=self.a_shape,
-                b=self.b_shape,
-                c=c,
-                layout=self.layout,
-                factor=(self.chol_shape, True),
-            )
+            return [
+                PackedSDP(
+                    a=self.a_shape,
+                    b=self.b_shape,
+                    c=c[index],
+                    layout=self.layout,
+                    factor=(self.chol_shape, True),
+                )
+                for index in range(count)
+            ]
         # (E3)  tr(Q rho) - t = c: the only data-dependent row.
-        operator = np.asarray(operator, dtype=np.complex128)
-        if operator.shape != (self.dim, self.dim):
-            raise SDPError(
-                f"constraint operator shape {operator.shape} does not match "
-                f"input dim {self.dim}"
-            )
-        row = np.zeros(self.n)
-        row[2 * self.bb : 2 * self.bb + self.dim * self.dim] = hvec(operator)
-        row[-1] = -1.0
-        a = np.vstack([self.a_shape, row[None, :]])
-        b = np.concatenate([self.b_shape, [float(bound_c)]])
-        # Append the row to the cached Cholesky factor of the shape normal
-        # matrix:  chol([[S, u], [u', s]]) = [[L, 0], [w', d]]  with
-        # L w = u and d = sqrt(s - w'w).
-        u = self.a_shape @ row
-        w = scipy.linalg.solve_triangular(
-            self.chol_shape, u, lower=True, check_finite=False
+        checked = []
+        for operator in operators:
+            operator = np.asarray(operator, dtype=np.complex128)
+            if operator.shape != (self.dim, self.dim):
+                raise SDPError(
+                    f"constraint operator shape {operator.shape} does not match "
+                    f"input dim {self.dim}"
+                )
+            checked.append(operator)
+        rows = np.zeros((count, self.n))
+        rows[:, 2 * self.bb : 2 * self.bb + self.dim * self.dim] = (
+            pack_hermitian_stack(np.stack(checked))
         )
-        d_squared = float(row @ row) + self.ridge - float(w @ w)
-        d = float(np.sqrt(max(d_squared, self.ridge)))
-        m = a.shape[0]
-        factor = np.zeros((m, m))
-        factor[: m - 1, : m - 1] = self.chol_shape
-        factor[m - 1, : m - 1] = w
-        factor[m - 1, m - 1] = d
-        return PackedSDP(a=a, b=b, c=c, layout=self.layout, factor=(factor, True))
+        rows[:, -1] = -1.0
+        problems = []
+        for index in range(count):
+            row = rows[index]
+            a = np.vstack([self.a_shape, row[None, :]])
+            b = np.concatenate([self.b_shape, [float(bounds_c[index])]])
+            # Append the row to the cached Cholesky factor of the shape normal
+            # matrix:  chol([[S, u], [u', s]]) = [[L, 0], [w', d]]  with
+            # L w = u and d = sqrt(s - w'w).
+            u = self.a_shape @ row
+            w = scipy.linalg.solve_triangular(
+                self.chol_shape, u, lower=True, check_finite=False
+            )
+            d_squared = float(row @ row) + self.ridge - float(w @ w)
+            d = float(np.sqrt(max(d_squared, self.ridge)))
+            m = a.shape[0]
+            factor = np.zeros((m, m))
+            factor[: m - 1, : m - 1] = self.chol_shape
+            factor[m - 1, : m - 1] = w
+            factor[m - 1, m - 1] = d
+            problems.append(
+                PackedSDP(a=a, b=b, c=c[index], layout=self.layout, factor=(factor, True))
+            )
+        return problems
 
 
 _TEMPLATES: dict[tuple[int, bool], _ShapeTemplate] = {}
@@ -435,6 +475,7 @@ def _certify_solutions_batch(
             constraint_operators=operators[:, None],
             constraint_bounds=np.array([p.bound_c for p in group])[:, None],
             y_hints=y_hints,
+            share_bracket=True,
         )
     else:
         operators = None
@@ -513,10 +554,11 @@ def constrained_diamond_norms_batch(
         packed_problems = None
         if solve:
             template = _get_template(big, use_constraint)
-            packed_problems = [
-                template.instantiate(p.scaled_choi, p.operator, p.bound_c)
-                for p in group
-            ]
+            packed_problems = template.instantiate_batch(
+                [p.scaled_choi for p in group],
+                [p.operator for p in group],
+                [p.bound_c for p in group],
+            )
             results = admm_solve_packed_batch(
                 packed_problems,
                 max_iterations=config.max_iterations,
@@ -636,6 +678,66 @@ def _channel_acts_trivially_on(channel: QuantumChannel, qubit: int) -> QuantumCh
     return None
 
 
+#: Memoised tensor-factoring decisions, keyed on channel identity.  Channels
+#: are immutable and noise models hand out one object per rule, so the
+#: factoring test (a dozen dense 4x4 operations) runs once per distinct
+#: channel instead of once per gate instance.  Weak keys keep transient
+#: channels collectable.
+_FACTORING_CACHE: "weakref.WeakKeyDictionary[QuantumChannel, tuple[int, QuantumChannel] | None]" = (
+    weakref.WeakKeyDictionary()
+)
+_FACTORING_LOCK = threading.Lock()
+
+#: Choi matrices of the identity channel, by qubit count.
+_IDENTITY_CHOIS: dict[int, np.ndarray] = {}
+
+
+def _identity_choi(num_qubits: int) -> np.ndarray:
+    choi = _IDENTITY_CHOIS.get(num_qubits)
+    if choi is None:
+        choi = identity_channel(num_qubits).choi()
+        _IDENTITY_CHOIS[num_qubits] = choi
+    return choi
+
+
+def _spectator_factoring(channel: QuantumChannel) -> tuple[int, QuantumChannel] | None:
+    """``(active_qubit, reduced_1q_channel)`` if a 2-qubit channel factors.
+
+    Mirrors the historical per-instance loop (spectator 0 tried first), but
+    the decision — which depends only on the channel — is computed once per
+    channel object and shared by every instance that carries it.
+    """
+    if channel.dim_in != 4 or channel.dim_out != 4:
+        return None
+    try:
+        return _FACTORING_CACHE[channel]
+    except KeyError:
+        pass
+    factoring = None
+    for spectator in (0, 1):
+        reduced_noise = _channel_acts_trivially_on(channel, spectator)
+        if reduced_noise is not None:
+            factoring = (1 - spectator, reduced_noise)
+            break
+    with _FACTORING_LOCK:
+        return _FACTORING_CACHE.setdefault(channel, factoring)
+
+
+def reduced_problem_dim(noise_channel: QuantumChannel | None) -> int:
+    """Input dimension of the SDP that survives the structural reductions.
+
+    2-qubit channels that factor as ``N ⊗ id`` (or ``id ⊗ N``) reduce to the
+    1-qubit problem; everything else keeps the channel's own dimension.  The
+    scheduler uses this to group solve classes of one template shape into the
+    same worker chunk (0 means noiseless — no SDP at all).
+    """
+    if noise_channel is None:
+        return 0
+    if _spectator_factoring(noise_channel) is not None:
+        return 2
+    return noise_channel.dim_in
+
+
 def gate_error_bound(
     gate_matrix: np.ndarray,
     noise_channel: QuantumChannel | None,
@@ -656,14 +758,11 @@ def gate_error_bound(
         noise_after_gate: whether the noisy gate is ``N ∘ U`` (default) or ``U ∘ N``.
         config: SDP configuration.
     """
-    config = config or SDPConfig()
-    if noise_channel is None:
-        zero_cert = DualCertificate(0.0, np.zeros((1, 1)), 0.0, None, 0.0)
-        return DiamondNormBound(0.0, zero_cert, 0.0, method="noiseless")
-    diff_choi, sigma = _reduced_gate_problem(
-        gate_matrix, noise_channel, rho_local, noise_after_gate=noise_after_gate
-    )
-    return rho_delta_diamond_norm(diff_choi, sigma, delta, config=config)
+    return gate_error_bounds_batch(
+        [(gate_matrix, noise_channel, rho_local, delta)],
+        noise_after_gate=noise_after_gate,
+        config=config,
+    )[0]
 
 
 def _reduced_gate_problem(
@@ -675,36 +774,121 @@ def _reduced_gate_problem(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Apply the exact structural reductions of :func:`gate_error_bound`.
 
-    Returns the difference-map Choi matrix and the (possibly reduced) local
-    predicate state that define the remaining (ρ̂, δ)-diamond-norm SDP.
+    A batch of one through :func:`_reduced_gate_problems_batch`, so per-gate
+    and batched reductions run the identical code.
     """
-    gate_matrix = np.asarray(gate_matrix, dtype=np.complex128)
-    dim = gate_matrix.shape[0]
-    if noise_channel.dim_in != dim:
-        raise SDPError(
-            f"noise channel dimension {noise_channel.dim_in} does not match gate dimension {dim}"
+    return _reduced_gate_problems_batch(
+        [(gate_matrix, noise_channel, rho_local)], noise_after_gate=noise_after_gate
+    )[0]
+
+
+def _reduced_gate_problems_batch(
+    problems: list[tuple[np.ndarray, QuantumChannel, np.ndarray]],
+    *,
+    noise_after_gate: bool = True,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """The exact structural reductions of :func:`gate_error_bound`, whole-stack.
+
+    ``problems`` holds ``(gate_matrix, noise_channel, rho_local)`` triples;
+    the return value is the aligned list of ``(diff_choi, sigma)`` pairs that
+    define the remaining (ρ̂, δ)-diamond-norm SDPs.
+
+    The historical per-instance Python — Choi construction, unitary
+    conjugation of the predicate, and the 2-qubit trivial-spectator
+    reduction — is replaced by whole-stack work:
+
+    * the tensor-factoring decision and the difference-map Choi matrix are
+      resolved once per *distinct channel* (channels are shared objects, so a
+      65-gate program typically holds two);
+    * uncached Choi matrices are computed with one stacked Gram product per
+      same-arity group (:func:`repro.linalg.channels.choi_stack`);
+    * the predicate conjugations ``U ρ U†`` run as batched matmuls per gate
+      dimension (:func:`repro.linalg.channels.unitary_conjugate_stack`);
+    * the spectator reductions run as one batched partial trace per kept
+      qubit (:func:`repro.linalg.partial_trace.partial_trace_keep` on a
+      stack).
+
+    Every batched primitive is independent of the batch composition, so the
+    per-element output is bit-identical to running the reduction alone —
+    :func:`_reduced_gate_problem` is a batch of one through this same code,
+    and ``tests/test_sdp_batch_reductions.py`` enforces the property across
+    the reduced program library.
+    """
+    gates: list[np.ndarray] = []
+    rhos: list[np.ndarray] = []
+    for gate_matrix, noise_channel, rho_local in problems:
+        gate_matrix = np.asarray(gate_matrix, dtype=np.complex128)
+        dim = gate_matrix.shape[0]
+        if noise_channel.dim_in != dim:
+            raise SDPError(
+                f"noise channel dimension {noise_channel.dim_in} does not match "
+                f"gate dimension {dim}"
+            )
+        rho_local = np.asarray(rho_local, dtype=np.complex128)
+        if rho_local.shape != (dim, dim):
+            raise SDPError(
+                f"local predicate of shape {rho_local.shape} does not match gate dimension {dim}"
+            )
+        gates.append(gate_matrix)
+        rhos.append(rho_local)
+
+    # Once per distinct channel (identity-hashed, as immutable channels are):
+    # the factoring decision and the channel whose Choi matrix enters the
+    # difference map.
+    unique = dict.fromkeys(channel for _gate, channel, _rho in problems)
+    factorings = {channel: _spectator_factoring(channel) for channel in unique}
+    effective = {
+        channel: (
+            factorings[channel][1] if factorings[channel] is not None else channel
         )
-    rho_local = np.asarray(rho_local, dtype=np.complex128)
-    if rho_local.shape != (dim, dim):
-        raise SDPError(
-            f"local predicate of shape {rho_local.shape} does not match gate dimension {dim}"
-        )
+        for channel in unique
+    }
+    by_arity: dict[tuple[int, int], list[QuantumChannel]] = {}
+    for channel in effective.values():
+        by_arity.setdefault((channel.dim_out, channel.dim_in), []).append(channel)
+    for group in by_arity.values():
+        choi_stack(group)  # one stacked Gram product per arity, caches filled
+    diff_chois = {
+        channel: reduced.choi() - _identity_choi(reduced.num_qubits)
+        for channel, reduced in effective.items()
+    }
 
     # Unitary factoring: || N∘U - U ||_(rho,delta) = || N - id ||_(U rho U†, delta),
     # and || U∘N - U ||_(rho,delta) = || N - id ||_(rho, delta).
-    sigma = gate_matrix @ rho_local @ gate_matrix.conj().T if noise_after_gate else rho_local
-    diff_choi = noise_channel.choi() - identity_channel(noise_channel.num_qubits).choi()
+    sigmas: list[np.ndarray]
+    if noise_after_gate:
+        sigmas = [None] * len(problems)  # type: ignore[list-item]
+        by_dim: dict[int, list[int]] = {}
+        for index, gate in enumerate(gates):
+            by_dim.setdefault(gate.shape[0], []).append(index)
+        for indices in by_dim.values():
+            conjugated = unitary_conjugate_stack(
+                np.stack([gates[i] for i in indices]),
+                np.stack([rhos[i] for i in indices]),
+            )
+            for row, index in enumerate(indices):
+                sigmas[index] = conjugated[row]
+    else:
+        sigmas = list(rhos)
 
-    # Tensor-factor reduction for 2-qubit gates with single-qubit noise.
-    if dim == 4:
-        for spectator in (0, 1):
-            reduced_noise = _channel_acts_trivially_on(noise_channel, spectator)
-            if reduced_noise is not None:
-                active = 1 - spectator
-                sigma = partial_trace_keep(sigma, [active])
-                diff_choi = reduced_noise.choi() - identity_channel(1).choi()
-                break
-    return diff_choi, sigma
+    # Tensor-factor reduction for 2-qubit gates with single-qubit noise: one
+    # batched partial trace per kept qubit.
+    by_active: dict[int, list[int]] = {}
+    for index, (_gate, channel, _rho) in enumerate(problems):
+        factoring = factorings[channel]
+        if factoring is not None:
+            by_active.setdefault(factoring[0], []).append(index)
+    for active, indices in by_active.items():
+        reduced = partial_trace_keep(
+            np.stack([sigmas[i] for i in indices]), [active]
+        )
+        for row, index in enumerate(indices):
+            sigmas[index] = reduced[row]
+
+    return [
+        (diff_chois[channel], sigmas[index])
+        for index, (_gate, channel, _rho) in enumerate(problems)
+    ]
 
 
 def gate_error_bounds_batch(
@@ -716,15 +900,17 @@ def gate_error_bounds_batch(
     """Certified bounds for many noisy gate applications, solved in lock-step.
 
     ``instances`` holds ``(gate_matrix, noise_channel, rho_local, delta)``
-    tuples.  The structural reductions run per instance; the surviving SDPs
-    are dispatched through :func:`constrained_diamond_norms_batch` so that
-    same-shaped problems share one batched ADMM run.  Used by the
-    program-level bound scheduler (:mod:`repro.core.scheduler`).
+    tuples.  The structural reductions run as one whole-stack pass
+    (:func:`_reduced_gate_problems_batch`); the surviving SDPs are dispatched
+    through :func:`constrained_diamond_norms_batch` so that same-shaped
+    problems share one batched ADMM run.  Used by the program-level bound
+    scheduler (:mod:`repro.core.scheduler`); :func:`gate_error_bound` is a
+    batch of one through this same code.
     """
     config = config or SDPConfig()
-    requests: list[tuple[np.ndarray, np.ndarray | None, float]] = []
-    request_positions: list[int] = []
     bounds: list[DiamondNormBound | None] = [None] * len(instances)
+    noisy: list[tuple[int, float]] = []
+    reduction_inputs: list[tuple[np.ndarray, QuantumChannel, np.ndarray]] = []
     for index, (gate_matrix, noise_channel, rho_local, delta) in enumerate(instances):
         if noise_channel is None:
             zero_cert = DualCertificate(0.0, np.zeros((1, 1)), 0.0, None, 0.0)
@@ -732,9 +918,14 @@ def gate_error_bounds_batch(
             continue
         if delta < 0:
             raise SDPError("delta must be non-negative")
-        diff_choi, sigma = _reduced_gate_problem(
-            gate_matrix, noise_channel, rho_local, noise_after_gate=noise_after_gate
-        )
+        noisy.append((index, float(delta)))
+        reduction_inputs.append((gate_matrix, noise_channel, rho_local))
+    reduced = _reduced_gate_problems_batch(
+        reduction_inputs, noise_after_gate=noise_after_gate
+    )
+    requests: list[tuple[np.ndarray, np.ndarray | None, float]] = []
+    request_positions: list[int] = []
+    for (index, delta), (diff_choi, sigma) in zip(noisy, reduced):
         requests.append((diff_choi, sigma, rho_delta_constraint_bound(sigma, delta)))
         request_positions.append(index)
     solved = constrained_diamond_norms_batch(requests, config=config)

@@ -51,6 +51,7 @@ __all__ = [
     "admm_solve_packed",
     "admm_solve_packed_batch",
     "get_layout",
+    "pack_hermitian_stack",
     "positive_part_stack",
     "unpack_hermitian_stack",
 ]
@@ -235,6 +236,32 @@ def positive_part_stack(matrices: np.ndarray) -> np.ndarray:
     return (eigenvectors * eigenvalues[..., None, :]) @ eigenvectors.conj().swapaxes(
         -1, -2
     )
+
+
+def pack_hermitian_stack(matrices: np.ndarray) -> np.ndarray:
+    """Batched ``hvec``: Hermitian ``(..., n, n)`` → packed-real ``(..., n*n)``.
+
+    Performs the exact elementwise operations of
+    :func:`repro.linalg.hermitian.hvec` (symmetrise, real diagonal, then
+    ``sqrt(2)``-scaled real and imaginary strict upper triangles) on a whole
+    stack, so packing a batch is bit-identical to packing each matrix alone.
+    The batched template instantiation of :mod:`repro.sdp.diamond` uses this
+    to write all objective vectors and predicate rows of a solve class in two
+    calls.
+    """
+    matrices = np.asarray(matrices, dtype=np.complex128)
+    matrices = (matrices + matrices.conj().swapaxes(-1, -2)) / 2
+    n = matrices.shape[-1]
+    out = np.empty(matrices.shape[:-2] + (n * n,), dtype=float)
+    diag_idx = np.arange(n)
+    out[..., :n] = matrices[..., diag_idx, diag_idx].real
+    if n > 1:
+        rows, cols = np.triu_indices(n, k=1)
+        m = rows.size
+        upper = matrices[..., rows, cols]
+        out[..., n : n + m] = _SQRT2 * upper.real
+        out[..., n + m :] = _SQRT2 * upper.imag
+    return out
 
 
 def unpack_hermitian_stack(vectors: np.ndarray, n: int) -> np.ndarray:

@@ -154,3 +154,92 @@ class TestSharedBoundCache:
         AnalysisEngine(workers=1, cache_dir=str(tmp_path / "bounds")).run([job])
         assert job.config.sdp.persistent_cache_path is None
         assert job.config.collect_derivation is True
+
+
+class TestWallClockBudget:
+    def test_budget_restores_preexisting_itimer(self):
+        """An outer ITIMER_REAL must survive a nested wall-clock budget."""
+        import signal
+
+        from repro.engine.pool import _wall_clock_budget
+
+        outer_fired = []
+
+        def outer_handler(signum, frame):
+            outer_fired.append(signum)
+
+        previous_handler = signal.signal(signal.SIGALRM, outer_handler)
+        try:
+            signal.setitimer(signal.ITIMER_REAL, 60.0)
+            with _wall_clock_budget(5.0):
+                pass
+            remaining, interval = signal.getitimer(signal.ITIMER_REAL)
+            # The outer timer is still armed, with (roughly) its time left,
+            # and the outer handler is back in place.
+            assert 0.0 < remaining <= 60.0
+            assert interval == 0.0
+            assert signal.getsignal(signal.SIGALRM) is outer_handler
+            assert not outer_fired
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous_handler)
+
+    def test_budget_disarms_when_no_outer_timer(self):
+        import signal
+
+        from repro.engine.pool import _wall_clock_budget
+
+        with _wall_clock_budget(5.0):
+            pass
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+    def test_shorter_outer_deadline_forwards_to_outer_handler(self):
+        """A one-shot outer deadline inside the inner budget keeps priority."""
+        import signal
+        import time
+
+        from repro.engine.pool import _wall_clock_budget
+
+        outer_fired = []
+
+        def outer_handler(signum, frame):
+            outer_fired.append(time.monotonic())
+
+        previous_handler = signal.signal(signal.SIGALRM, outer_handler)
+        try:
+            signal.setitimer(signal.ITIMER_REAL, 0.1)
+            start = time.monotonic()
+            with _wall_clock_budget(60.0):
+                while not outer_fired and time.monotonic() - start < 5.0:
+                    time.sleep(0.01)
+            # The outer handler fired at its own deadline (no inner
+            # ResourceLimitExceeded), and the consumed one-shot timer is not
+            # re-armed on exit.
+            assert outer_fired and outer_fired[0] - start < 2.0
+            assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous_handler)
+
+    def test_periodic_timer_not_clamped_and_restored(self):
+        """A periodic ITIMER_REAL (profiler tick) must not clamp the budget."""
+        import signal
+
+        from repro.engine.pool import _wall_clock_budget
+
+        ticks = []
+        previous_handler = signal.signal(
+            signal.SIGALRM, lambda signum, frame: ticks.append(signum)
+        )
+        try:
+            signal.setitimer(signal.ITIMER_REAL, 0.05, 0.05)
+            with _wall_clock_budget(60.0):
+                remaining, interval = signal.getitimer(signal.ITIMER_REAL)
+                # The inner budget is armed, not the 50ms tick.
+                assert remaining > 1.0
+                assert interval == 0.0
+            remaining, interval = signal.getitimer(signal.ITIMER_REAL)
+            assert interval == 0.05  # periodic timer resumed on exit
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous_handler)

@@ -54,3 +54,84 @@ class TestResultStore:
         path = tmp_path / "deep" / "dir" / "results.jsonl"
         ResultStore(str(path)).put(_result("aa"))
         assert path.exists()
+
+
+class TestResultStoreConcurrency:
+    def test_put_and_completed_hammered_from_two_threads(self, tmp_path):
+        """Reads must hold the lock while the service batcher thread writes.
+
+        Regression test for the unlocked read paths: one thread appends
+        results while another hammers the read API; without locking this
+        races a mutating dict and can raise or return torn state.
+        """
+        import threading
+
+        store = ResultStore(str(tmp_path / "results.jsonl"))
+        total = 200
+        errors = []
+        done = threading.Event()
+
+        def writer():
+            try:
+                for index in range(total):
+                    store.put(_result(f"fp{index:04d}"))
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+            finally:
+                done.set()
+
+        def reader():
+            try:
+                while not done.is_set():
+                    store.completed("fp0000")
+                    store.get("fp0199")
+                    "fp0100" in store
+                    len(store)
+                    store.missing(["fp0000", "missing"])
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer), threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert len(store) == total
+        assert store.completed("fp0000") and store.completed(f"fp{total - 1:04d}")
+
+    def test_put_many_single_append(self, tmp_path, monkeypatch):
+        """put_many writes one payload with one fsync, and stays loadable."""
+        import os as os_module
+
+        import repro.engine.store as store_module
+
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(str(path))
+        fsyncs = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr(
+            store_module.os, "fsync", lambda fd: (fsyncs.append(fd), real_fsync(fd))
+        )
+        store.put_many([_result(f"fp{i}") for i in range(25)])
+        assert len(fsyncs) == 1
+        reloaded = ResultStore(str(path))
+        assert len(reloaded) == 25
+        assert all(reloaded.completed(f"fp{i}") for i in range(25))
+
+    def test_put_many_heals_truncated_tail_first(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        ResultStore(str(path)).put(_result("aa"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"fingerprint": "bb", "name": "half')  # killed mid-append
+        store = ResultStore(str(path))
+        store.put_many([_result("cc"), _result("dd")])
+        reloaded = ResultStore(str(path))
+        assert reloaded.completed("cc") and reloaded.completed("dd")
+        assert reloaded.skipped_lines == 1
+
+    def test_put_many_empty_is_noop(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(str(path))
+        store.put_many([])
+        assert not path.exists() or path.read_text() == ""

@@ -175,3 +175,67 @@ def test_mixtures_of_channels_are_cptp(seed, p):
     assert is_cptp_kraus(mixed_kraus)
     out = apply_kraus(mixed_kraus, maximally_mixed(1))
     assert np.isclose(np.trace(out).real, 1.0, atol=1e-9)
+
+
+class TestChoiStack:
+    """choi_stack: stacked Choi construction with cache write-back."""
+
+    def test_matches_per_channel_and_fills_cache(self):
+        import numpy as np
+
+        from repro.linalg.channels import QuantumChannel, choi_stack, kraus_to_choi
+        from repro.noise import channels as noise_channels
+
+        group = [
+            noise_channels.bit_flip(0.01),
+            noise_channels.depolarizing(0.05),
+            QuantumChannel.from_unitary(np.array([[0, 1], [1, 0]], dtype=complex)),
+        ]
+        stacked = choi_stack(group)
+        assert stacked.shape == (3, 4, 4)
+        for row, channel in enumerate(group):
+            assert np.array_equal(stacked[row], channel.choi())
+            assert np.array_equal(stacked[row], kraus_to_choi(channel.kraus))
+
+    def test_mixed_cached_and_uncached(self):
+        import numpy as np
+
+        from repro.linalg.channels import choi_stack
+        from repro.noise import channels as noise_channels
+
+        warm = noise_channels.bit_flip(0.02)
+        cached = warm.choi()  # warm the cache
+        cold = noise_channels.phase_flip(0.03)
+        stacked = choi_stack([warm, cold])
+        assert stacked[0] is not cached or np.array_equal(stacked[0], cached)
+        assert np.array_equal(stacked[0], cached)
+        assert np.array_equal(stacked[1], cold.choi())
+
+    def test_rejects_mixed_arity(self):
+        import pytest
+
+        from repro.errors import NoiseModelError
+        from repro.linalg.channels import choi_stack
+        from repro.noise import channels as noise_channels
+
+        with pytest.raises(NoiseModelError):
+            choi_stack(
+                [noise_channels.bit_flip(0.1), noise_channels.two_qubit_depolarizing(0.1)]
+            )
+        with pytest.raises(NoiseModelError):
+            choi_stack([])
+
+
+class TestUnitaryConjugateStack:
+    def test_matches_per_element_bitwise(self):
+        import numpy as np
+
+        from repro.linalg.channels import unitary_conjugate_stack
+        from repro.linalg.states import random_density_matrix
+
+        rng = np.random.default_rng(4)
+        qs = [np.linalg.qr(rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4)))[0] for _ in range(5)]
+        rhos = [random_density_matrix(2, rng=np.random.default_rng(seed)) for seed in range(5)]
+        batched = unitary_conjugate_stack(np.stack(qs), np.stack(rhos))
+        for u, rho, out in zip(qs, rhos, batched):
+            assert np.array_equal(out, u @ rho @ u.conj().T)

@@ -94,3 +94,46 @@ def test_keep_then_full_consistency(seed):
     keep = partial_trace_keep(rho, [0, 2])
     drop = partial_trace(rho, [1])
     assert np.allclose(keep, drop, atol=1e-10)
+
+
+class TestStackedPartialTrace:
+    """partial_trace_keep on (..., d, d) stacks (the batched reduction path)."""
+
+    def test_stack_matches_per_element_bitwise(self):
+        import numpy as np
+
+        from repro.linalg.partial_trace import partial_trace_keep
+        from repro.linalg.states import random_density_matrix
+
+        stack = np.stack(
+            [random_density_matrix(3, rng=np.random.default_rng(seed)) for seed in range(6)]
+        )
+        for keep in ([0], [1], [2], [0, 2], [2, 0], [1, 2]):
+            batched = partial_trace_keep(stack, keep)
+            for index in range(stack.shape[0]):
+                single = partial_trace_keep(stack[index], keep)
+                assert np.array_equal(batched[index], single)
+
+    def test_leading_batch_shape_preserved(self):
+        import numpy as np
+
+        from repro.linalg.partial_trace import partial_trace_keep
+        from repro.linalg.states import random_density_matrix
+
+        stack = np.stack(
+            [random_density_matrix(2, rng=np.random.default_rng(seed)) for seed in range(6)]
+        ).reshape(2, 3, 4, 4)
+        reduced = partial_trace_keep(stack, [1])
+        assert reduced.shape == (2, 3, 2, 2)
+
+    def test_stack_rejects_non_square_and_bad_dims(self):
+        import numpy as np
+        import pytest
+
+        from repro.errors import SimulationError
+        from repro.linalg.partial_trace import partial_trace_keep
+
+        with pytest.raises(SimulationError):
+            partial_trace_keep(np.zeros((3, 4, 2)), [0])
+        with pytest.raises(SimulationError):
+            partial_trace_keep(np.zeros((3, 3, 3)), [0])

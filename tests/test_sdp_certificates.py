@@ -120,3 +120,109 @@ def test_repair_always_feasible(seed, dim):
     scale = max(1.0, np.abs(choi).max())
     assert min_eigenvalue(repaired) >= -1e-9 * scale
     assert min_eigenvalue(repaired - choi) >= -1e-9 * scale
+
+
+class TestSharedBracket:
+    """certified_values_batch(share_bracket=True): the pilot-bracket search."""
+
+    @staticmethod
+    def _request_stack(count, candidates, seed=0):
+        rng = np.random.default_rng(seed)
+        from repro.linalg import random_density_matrix
+        from repro.sdp import repair_dual_candidates_batch
+
+        chois = np.stack(
+            [random_hermitian(4, rng=rng) * 0.1 for _ in range(count)]
+        )
+        raw = np.stack(
+            [
+                [random_hermitian(4, rng=rng) * 0.1 for _ in range(candidates)]
+                for _ in range(count)
+            ]
+        )
+        zs = repair_dual_candidates_batch(raw, chois[:, None])
+        operators = np.stack(
+            [random_density_matrix(1, rng=rng) for _ in range(count)]
+        )[:, None]
+        # Feasible bounds (c < λ_max(Q)), as every real (ρ̂, δ) instance
+        # produces: an infeasible primal makes the dual unbounded below and
+        # the search meaningless.
+        top = np.linalg.eigvalsh(operators[:, 0]).max(axis=-1)
+        bounds = (top * rng.uniform(0.2, 0.8, size=count))[:, None]
+        return zs, operators, bounds
+
+    def test_minima_match_independent_search(self):
+        """The per-request best bound matches the 80-iteration-per-candidate
+        search to high relative accuracy — the pilot phase must not silently
+        loosen the reported (min-over-candidates) bound."""
+        from repro.sdp.certificates import certified_values_batch
+
+        zs, operators, bounds = self._request_stack(12, 4, seed=5)
+        shared, _ = certified_values_batch(
+            zs,
+            constraint_operators=operators,
+            constraint_bounds=bounds,
+            share_bracket=True,
+        )
+        independent, _ = certified_values_batch(
+            zs, constraint_operators=operators, constraint_bounds=bounds
+        )
+        best_shared = shared.min(axis=1)
+        best_independent = independent.min(axis=1)
+        assert np.all(
+            best_shared <= best_independent * (1 + 1e-6) + 1e-12
+        ), (best_shared, best_independent)
+        np.testing.assert_allclose(best_shared, best_independent, rtol=1e-6)
+
+    def test_every_returned_point_is_sound(self):
+        """Every (value, y) is an actually evaluated point of its candidate."""
+        from repro.sdp.certificates import _dual_objective, certified_values_batch
+
+        zs, operators, bounds = self._request_stack(6, 3, seed=9)
+        values, ys = certified_values_batch(
+            zs,
+            constraint_operators=operators,
+            constraint_bounds=bounds,
+            share_bracket=True,
+        )
+        for request in range(zs.shape[0]):
+            for candidate in range(zs.shape[1]):
+                recomputed = _dual_objective(
+                    zs[request, candidate],
+                    float(ys[request, candidate]),
+                    operators[request, 0],
+                    float(bounds[request, 0]),
+                )
+                assert recomputed <= values[request, candidate] + 1e-9
+
+    def test_composition_independence(self):
+        """A request certifies identically alone or inside a larger batch."""
+        from repro.sdp.certificates import certified_values_batch
+
+        zs, operators, bounds = self._request_stack(5, 4, seed=2)
+        full_values, full_ys = certified_values_batch(
+            zs,
+            constraint_operators=operators,
+            constraint_bounds=bounds,
+            share_bracket=True,
+        )
+        alone_values, alone_ys = certified_values_batch(
+            zs[2:3],
+            constraint_operators=operators[2:3],
+            constraint_bounds=bounds[2:3],
+            share_bracket=True,
+        )
+        assert np.array_equal(full_values[2], alone_values[0])
+        assert np.array_equal(full_ys[2], alone_ys[0])
+
+    def test_share_bracket_requires_candidate_axis(self):
+        from repro.sdp.certificates import certified_values_batch
+
+        z = repair_dual_candidate(np.zeros((4, 4)), _bit_flip_choi())
+        with pytest.raises(CertificationError):
+            certified_values_batch(
+                z[None],
+                constraint_operators=np.eye(2)[None] / 2,
+                constraint_bounds=np.array([0.5]),
+                share_bracket=True,
+            )
