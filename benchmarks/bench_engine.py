@@ -40,8 +40,9 @@ for entry in (REPO_ROOT / "src", REPO_ROOT / "tests"):
     if str(entry) not in sys.path:
         sys.path.insert(0, str(entry))
 
+from repro.api import AnalysisSession  # noqa: E402
 from repro.config import AnalysisConfig, DEFAULT_BIT_FLIP_PROBABILITY  # noqa: E402
-from repro.engine.pool import AnalysisEngine, execute_job  # noqa: E402
+from repro.engine.pool import execute_job  # noqa: E402
 from repro.engine.spec import AnalysisJob  # noqa: E402
 from repro.noise import NoiseModel  # noqa: E402
 from repro.programs.library import table2_benchmarks  # noqa: E402
@@ -91,19 +92,21 @@ def measure_sequential_baseline(trace: list[AnalysisJob]) -> dict:
 
 
 def measure_engine(trace: list[AnalysisJob], *, workers: int) -> dict:
-    """One engine batch over the trace (fresh engine, no store, no disk cache)."""
-    engine = AnalysisEngine(workers=workers)
-    start = time.perf_counter()
-    report = engine.run(trace)
-    seconds = time.perf_counter() - start
-    assert report.ok
+    """One facade batch over the trace (fresh session, no store, no disk cache)."""
+    with AnalysisSession(workers=workers) as session:
+        start = time.perf_counter()
+        outcomes = session.analyze_batch(trace)
+        seconds = time.perf_counter() - start
+        assert all(outcome.ok for outcome in outcomes)
+        shards = session.engine.stats()["last_batch_shards"]
+    unique = len({outcome.fingerprint for outcome in outcomes})
     return {
         "workers": workers,
         "seconds": seconds,
         "jobs_per_minute": 60.0 * len(trace) / seconds,
-        "analyses_executed": report.executed,
-        "deduplicated_submissions": report.deduplicated,
-        "bounds": [result.error_bound for result in report.results],
+        "analyses_executed": shards["pending_jobs"] if shards else unique,
+        "deduplicated_submissions": len(trace) - unique,
+        "bounds": [outcome.bound for outcome in outcomes],
     }
 
 
@@ -111,25 +114,24 @@ def measure_warm_cache(jobs: list[AnalysisJob], *, workers: int = 1) -> dict:
     """Cold vs warm sweep against a shared persistent bound cache."""
     with tempfile.TemporaryDirectory(prefix="bench-engine-cache-") as tmp:
         cache_dir = os.path.join(tmp, "bounds")
-        cold_engine = AnalysisEngine(workers=workers, cache_dir=cache_dir)
-        start = time.perf_counter()
-        cold = cold_engine.run(jobs)
-        cold_seconds = time.perf_counter() - start
+        with AnalysisSession(workers=workers, cache_dir=cache_dir) as session:
+            start = time.perf_counter()
+            cold = session.analyze_batch(jobs)
+            cold_seconds = time.perf_counter() - start
 
-        warm_engine = AnalysisEngine(workers=workers, cache_dir=cache_dir)
-        start = time.perf_counter()
-        warm = warm_engine.run(jobs)
-        warm_seconds = time.perf_counter() - start
-    assert cold.ok and warm.ok
+        with AnalysisSession(workers=workers, cache_dir=cache_dir) as session:
+            start = time.perf_counter()
+            warm = session.analyze_batch(jobs)
+            warm_seconds = time.perf_counter() - start
+    assert all(o.ok for o in cold) and all(o.ok for o in warm)
     return {
         "workers": workers,
         "cold_seconds": cold_seconds,
         "warm_seconds": warm_seconds,
         "speedup_warm_vs_cold": cold_seconds / warm_seconds,
-        "bit_identical": [r.error_bound for r in cold.results]
-        == [r.error_bound for r in warm.results],
-        "sdp_solves_cold": sum(r.sdp_solves for r in cold.results),
-        "sdp_solves_warm": sum(r.sdp_solves for r in warm.results),
+        "bit_identical": [o.bound for o in cold] == [o.bound for o in warm],
+        "sdp_solves_cold": sum(o.sdp_solves for o in cold),
+        "sdp_solves_warm": sum(o.sdp_solves for o in warm),
     }
 
 
@@ -253,17 +255,18 @@ SMOKE_BENCHMARKS = ["QAOA_line_10", "Isingmodel10", "QAOARandom20"]
 
 
 def test_engine_sweep_smoke():
-    """A 2-worker sweep of three small programs matches the inline engine."""
+    """A 2-worker facade sweep of three small programs matches the inline one."""
     jobs = unique_jobs(benchmarks=SMOKE_BENCHMARKS)
     assert len(jobs) == 3
     trace = jobs * 2
-    inline = AnalysisEngine(workers=1).run(trace)
-    sharded = AnalysisEngine(workers=2).run(trace)
-    assert inline.ok and sharded.ok
-    assert sharded.executed == 3 and sharded.deduplicated == 3
-    assert [r.error_bound for r in sharded.results] == [
-        r.error_bound for r in inline.results
-    ]
+    with AnalysisSession(workers=1) as session:
+        inline = session.analyze_batch(trace)
+    with AnalysisSession(workers=2) as session:
+        sharded = session.analyze_batch(trace)
+        shards = session.engine.stats()["last_batch_shards"]
+    assert all(o.ok for o in inline) and all(o.ok for o in sharded)
+    assert shards["pending_jobs"] == 3  # dedupe: 6 submissions, 3 executions
+    assert [o.bound for o in sharded] == [o.bound for o in inline]
 
 
 def test_warm_cache_smoke():

@@ -19,6 +19,7 @@ shows where that lands.
 Run:  python examples/qubit_mapping_evaluation.py
 """
 
+from repro.api import AnalysisSession
 from repro.config import AnalysisConfig
 from repro.devices import (
     CouplingMap,
@@ -44,13 +45,16 @@ def main() -> None:
     print(f"{'mapping':>10s} | {'Gleipnir bound':>14s} | {'measured error':>14s} | {'extra gates':>11s}")
     print("-" * 60)
     rows = []
-    for mapping in candidate_mappings:
-        mapped = map_circuit(circuit, mapping, coupling)
-        bound = analyze_mapped_circuit(mapped, calibration, config=config)
-        measured = emulator.measured_error(mapped, shots=8192)
-        rows.append((mapping, bound, measured))
-        label = "-".join(map(str, mapping))
-        print(f"{label:>10s} | {bound:>14.3f} | {measured:>14.3f} | {mapped.num_added_gates:>11d}")
+    # One session fronts every candidate analysis (swap `AnalysisSession()`
+    # for `AnalysisSession(remote=...)` to score mappings on a shared server).
+    with AnalysisSession() as session:
+        for mapping in candidate_mappings:
+            mapped = map_circuit(circuit, mapping, coupling)
+            bound = analyze_mapped_circuit(mapped, calibration, config=config, session=session)
+            measured = emulator.measured_error(mapped, shots=8192)
+            rows.append((mapping, bound, measured))
+            label = "-".join(map(str, mapping))
+            print(f"{label:>10s} | {bound:>14.3f} | {measured:>14.3f} | {mapped.num_added_gates:>11d}")
 
     by_bound = min(rows, key=lambda row: row[1])[0]
     by_measurement = min(rows, key=lambda row: row[2])[0]

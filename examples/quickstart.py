@@ -3,7 +3,7 @@
 
 This walks through the running example of the paper (Example 2.1 / Section 3):
 the 2-qubit GHZ preparation ``H(q0); CNOT(q0, q1)`` under a bit-flip noise
-model.  Gleipnir
+model, driven through the public :mod:`repro.api` facade.  Gleipnir
 
 1. approximates the intermediate states with an MPS tensor network,
 2. computes a certified (rho, delta)-diamond norm per noisy gate, and
@@ -16,7 +16,8 @@ example is tiny).
 Run:  python examples/quickstart.py
 """
 
-from repro import AnalysisConfig, Circuit, GleipnirAnalyzer, NoiseModel
+from repro import AnalysisConfig, Circuit, NoiseModel
+from repro.api import AnalysisSession
 from repro.core import exact_error, worst_case_bound
 
 
@@ -29,36 +30,41 @@ def main() -> None:
     p = 1e-3
     noise = NoiseModel.uniform_bit_flip(p)
 
-    # Analyse.  Width 8 is already exact for two qubits.
-    analyzer = GleipnirAnalyzer(noise, AnalysisConfig(mps_width=8))
-    result = analyzer.analyze(circuit)
+    # Analyse through the session facade.  Width 8 is already exact for two
+    # qubits; derivation=True keeps the full proof tree on the outcome.
+    with AnalysisSession(config=AnalysisConfig(mps_width=8)) as session:
+        outcome = session.analyze(circuit, noise, derivation=True)
 
     print("Program:")
     print("    H(q0); CNOT(q0, q1)   on input |00>")
     print(f"Noise model: bit flip with p = {p:g} per gate\n")
 
-    print(f"Gleipnir verified bound : {result.error_bound:.3e}")
+    print(f"Gleipnir verified bound : {outcome.bound:.3e}")
     worst = worst_case_bound(circuit, noise)
     print(f"Worst-case bound        : {worst.value:.3e}   (= gate count x p)")
     exact = exact_error(circuit, noise)
     print(f"Exact error (full sim)  : {exact.value:.3e}\n")
 
     print("Per-gate contributions (the Gate rule judgments):")
-    for row in result.gate_contributions():
+    for row in outcome.gate_contributions():
         print(
             f"  {row.gate_label:>10s} on {row.qubits}: "
             f"eps = {row.epsilon:.3e}   (delta before = {row.delta_before:.1e})"
         )
 
     print("\nDerivation tree:")
-    print(result.derivation.pretty())
+    print(outcome.derivation.pretty())
 
     # The derivation can be independently re-validated: every SDP certificate
     # is checked for dual feasibility and every rule application re-audited.
-    result.derivation.check()
+    outcome.derivation.check()
     print("\nDerivation re-validated: every step is sound.")
 
-    assert exact.value <= result.error_bound <= worst.value + 1e-12
+    # The outcome is content-addressed: the fingerprint is the handle a
+    # result store or a remote gleipnir-serve would answer for.
+    print(f"\nJob fingerprint: {outcome.fingerprint[:16]}…  (status: {outcome.status})")
+
+    assert exact.value <= outcome.bound <= worst.value + 1e-12
 
 
 if __name__ == "__main__":

@@ -17,7 +17,8 @@ Run:  python examples/teleportation_branches.py
 
 import numpy as np
 
-from repro import AnalysisConfig, Circuit, GleipnirAnalyzer, NoiseModel
+from repro import AnalysisConfig, Circuit, NoiseModel
+from repro.api import AnalysisSession
 from repro.core import exact_error
 
 
@@ -41,37 +42,38 @@ def teleportation_circuit(theta: float = 0.6) -> Circuit:
 def main() -> None:
     circuit = teleportation_circuit()
     noise = NoiseModel.uniform_depolarizing(5e-4, 2e-3)
-    analyzer = GleipnirAnalyzer(noise, AnalysisConfig(mps_width=8))
-    result = analyzer.analyze(circuit)
+    with AnalysisSession(config=AnalysisConfig(mps_width=8)) as session:
+        outcome = session.analyze(circuit, noise, derivation=True)
 
-    print("Quantum teleportation with mid-circuit measurements")
-    print(f"  gates analysed       : {result.num_gates}")
-    print(f"  measurement branches : {result.num_branches}")
-    print(f"  Gleipnir bound       : {result.error_bound:.4e}")
+        print("Quantum teleportation with mid-circuit measurements")
+        print(f"  gates analysed       : {outcome.num_gates}")
+        print(f"  measurement branches : {outcome.num_branches}")
+        print(f"  Gleipnir bound       : {outcome.bound:.4e}")
 
-    exact = exact_error(circuit, noise)
-    print(f"  exact error          : {exact.value:.4e}")
-    assert result.error_bound >= exact.value - 1e-12
+        exact = exact_error(circuit, noise)
+        print(f"  exact error          : {exact.value:.4e}")
+        assert outcome.bound >= exact.value - 1e-12
 
-    print("\nDerivation (trimmed to the first levels):")
-    lines = result.derivation.pretty().splitlines()
-    for line in lines[:12]:
-        print(f"  {line}")
-    if len(lines) > 12:
-        print(f"  ... ({len(lines) - 12} more lines)")
+        print("\nDerivation (trimmed to the first levels):")
+        lines = outcome.derivation.pretty().splitlines()
+        for line in lines[:12]:
+            print(f"  {line}")
+        if len(lines) > 12:
+            print(f"  ... ({len(lines) - 12} more lines)")
 
-    result.derivation.check()
-    print("\nDerivation re-validated, including the Meas-rule arithmetic.")
+        outcome.derivation.check()
+        print("\nDerivation re-validated, including the Meas-rule arithmetic.")
 
-    # The Meas rule charges the full measurement-confusion probability delta,
-    # so branchy bounds are more conservative than branch-free ones — run the
-    # same physics with deferred measurement to see the difference.
-    deferred = Circuit(3, name="teleportation_deferred")
-    deferred.ry(0.6, 0).h(1).cx(1, 2).cx(0, 1).h(0).cx(1, 2).cz(0, 2)
-    deferred_result = analyzer.analyze(deferred)
+        # The Meas rule charges the full measurement-confusion probability
+        # delta, so branchy bounds are more conservative than branch-free ones
+        # — run the same physics with deferred measurement to see the
+        # difference.
+        deferred = Circuit(3, name="teleportation_deferred")
+        deferred.ry(0.6, 0).h(1).cx(1, 2).cx(0, 1).h(0).cx(1, 2).cz(0, 2)
+        deferred_outcome = session.analyze(deferred, noise)
     print(
-        f"\nDeferred-measurement variant bound: {deferred_result.error_bound:.4e} "
-        f"(branch-free, {deferred_result.num_gates} gates)"
+        f"\nDeferred-measurement variant bound: {deferred_outcome.bound:.4e} "
+        f"(branch-free, {deferred_outcome.num_gates} gates)"
     )
 
 

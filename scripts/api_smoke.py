@@ -1,0 +1,128 @@
+"""Client-vs-server smoke: drive a live ``gleipnir-serve`` via ``repro.api``.
+
+Used by the CI engine-smoke job (and handy locally)::
+
+    PYTHONPATH=src python scripts/api_smoke.py
+
+The script
+
+1. launches ``gleipnir-serve`` as a real subprocess on an ephemeral port,
+2. discovers it via ``GET /v1/capabilities``,
+3. submits a small batch (with a duplicate) through
+   :class:`repro.api.Client` / a remote :class:`repro.api.AnalysisSession`,
+   collecting results via the long-poll push path,
+4. runs the identical jobs through an in-process local session, and
+5. asserts the two surfaces return **bit-identical** certified bounds — and
+   that a completed long-poll costs exactly one request.
+
+Exit code 0 means the whole HTTP path (serialization, batching, condition-
+variable result push, error envelopes) agrees with the in-process facade.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import AnalysisConfig, Circuit, NoiseModel  # noqa: E402
+from repro.api import AnalysisSession, Client  # noqa: E402
+from repro.errors import JobNotFoundError  # noqa: E402
+
+FAST = AnalysisConfig(mps_width=4)
+MODEL = NoiseModel.uniform_bit_flip(1e-3)
+
+
+def smoke_jobs(session: AnalysisSession) -> list:
+    ghz2 = Circuit(2, name="ghz2").h(0).cx(0, 1)
+    ghz3 = Circuit(3, name="ghz3").h(0).cx(0, 1).cx(1, 2)
+    return [
+        session.job(ghz2, MODEL, config=FAST),
+        session.job(ghz3, MODEL, config=FAST),
+        session.job(ghz2, MODEL, config=FAST),  # duplicate: dedupe on the wire
+    ]
+
+
+def start_server() -> tuple[subprocess.Popen, str]:
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            "from repro.engine.service import main; "
+            "raise SystemExit(main(['--port', '0', '--workers', '1']))",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    assert process.stdout is not None
+    for _ in range(10):  # skip interpreter warnings until the banner line
+        line = process.stdout.readline()
+        match = re.search(r"listening on (http://[\d.]+:\d+)", line)
+        if match:
+            return process, match.group(1)
+    process.terminate()
+    raise RuntimeError("could not parse the gleipnir-serve banner")
+
+
+def main() -> int:
+    process, base_url = start_server()
+    try:
+        client = Client(base_url)
+        for _ in range(50):  # the server socket is up; wait for the batcher
+            try:
+                capabilities = client.capabilities()
+                break
+            except Exception:
+                time.sleep(0.1)
+        else:
+            raise RuntimeError("server never answered /v1/capabilities")
+        assert capabilities["api"]["version"] == "v1", capabilities
+
+        with AnalysisSession(client=client, config=FAST) as remote:
+            jobs = smoke_jobs(remote)
+            entries = client.submit(jobs)
+            assert entries[0]["fingerprint"] == entries[2]["fingerprint"], "dedupe lost"
+            before = client.requests_sent
+            pushed = client.wait(entries[0]["fingerprint"], timeout=120)
+            assert pushed["status"] == "done", pushed
+            assert client.requests_sent - before == 1, "long poll needed >1 request"
+            remote_outcomes = remote.analyze_batch(jobs)
+
+        with AnalysisSession(config=FAST) as local:
+            local_outcomes = local.analyze_batch(smoke_jobs(local))
+
+        remote_bounds = [outcome.bound for outcome in remote_outcomes]
+        local_bounds = [outcome.bound for outcome in local_outcomes]
+        assert remote_bounds == local_bounds, (
+            f"client-vs-server bounds differ: {remote_bounds} != {local_bounds}"
+        )
+
+        try:  # structured 404 envelope on the wire
+            client.status("deadbeef")
+        except JobNotFoundError:
+            pass
+        else:
+            raise AssertionError("unknown fingerprint did not raise JobNotFoundError")
+
+        print(
+            f"api smoke OK: {len(jobs)} submissions, bounds bit-identical "
+            f"({remote_bounds}), long-poll push in 1 request"
+        )
+        return 0
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,15 @@ Usage:
                                            # timings for the Table 2 reduced
                                            # suite (refreshes the warm_cache
                                            # section of BENCH_engine.json)
+    python scripts/run_bench.py --serve    # client-vs-server smoke: start a
+                                           # real gleipnir-serve, drive it with
+                                           # repro.api.Client, and assert its
+                                           # bounds are bit-identical to the
+                                           # in-process repro.api facade
+
+The engine measurements run through the public :mod:`repro.api` session
+facade (see ``benchmarks/bench_engine.py``), so the numbers cover the same
+surface users call.
 """
 
 from __future__ import annotations
@@ -183,6 +192,10 @@ def run_warm() -> int:
 
 
 def main() -> int:
+    if "--serve" in sys.argv:
+        import api_smoke  # the client-vs-server smoke (scripts/api_smoke.py)
+
+        return api_smoke.main()
     if "--engine" in sys.argv:
         if "--check" in sys.argv:
             return run_engine_check()

@@ -25,6 +25,7 @@ from .engine import (
     JobResult,
     ResultStore,
 )
+from .api import AnalysisOutcome, AnalysisSession, Client
 from .mps import MPS, MPSApproximator, approximate_program
 from .sdp import (
     DiamondNormBound,
@@ -69,6 +70,9 @@ __all__ = [
     "AnalysisService",
     "JobResult",
     "ResultStore",
+    "AnalysisOutcome",
+    "AnalysisSession",
+    "Client",
     "MPS",
     "MPSApproximator",
     "approximate_program",

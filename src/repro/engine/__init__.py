@@ -19,7 +19,7 @@ into first-class, addressable requests:
 
 from .spec import AnalysisJob, JobResult
 from .store import ResultStore
-from .pool import AnalysisEngine, BatchReport, execute_job
+from .pool import AnalysisEngine, BatchReport, execute_job, job_family
 from .service import AnalysisService
 
 __all__ = [
@@ -29,5 +29,6 @@ __all__ = [
     "AnalysisEngine",
     "BatchReport",
     "execute_job",
+    "job_family",
     "AnalysisService",
 ]

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import hashlib
 import os
 import signal
 import threading
@@ -36,13 +37,56 @@ import time
 from collections.abc import Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
+from ..circuits.program import GateOp, IfMeasure, Program, Seq
 from ..config import AnalysisConfig
 from ..core.analyzer import analyze_program
 from ..errors import ResourceLimitExceeded
 from .spec import AnalysisJob, JobResult
 from .store import ResultStore
 
-__all__ = ["AnalysisEngine", "BatchReport", "execute_job"]
+__all__ = [
+    "AnalysisEngine",
+    "BatchReport",
+    "execute_job",
+    "job_family",
+    "job_result_from_analysis",
+]
+
+
+def _gate_signature(program: Program) -> tuple:
+    """The sorted set of structural gate keys a program applies.
+
+    Two programs with the same signature under the same noise model request
+    bounds for the same (gate, channel) classes, so their SDP cache entries
+    overlap — which is exactly what the warm-start ordering shards on.
+    """
+    keys = set()
+    pending = [program]
+    while pending:
+        node = pending.pop()
+        if isinstance(node, GateOp):
+            keys.add(node.gate.key())
+        elif isinstance(node, Seq):
+            pending.extend(node.parts)
+        elif isinstance(node, IfMeasure):
+            pending.append(node.then_branch)
+            pending.append(node.else_branch)
+    return tuple(sorted(map(repr, keys)))
+
+
+def job_family(job: AnalysisJob) -> str:
+    """Cache-overlap shard key of a job (digest of gates + noise + width).
+
+    Jobs of one family share gate-bound cache entries (same gate set, same
+    noise model, same predicate quantisation width), so executing them in the
+    same worker window lets one job's certified bounds warm the next job's
+    persistent-cache lookups instead of being scattered across the pool.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(_gate_signature(job.program)).encode())
+    digest.update(job.noise_model.name.encode())
+    digest.update(str(job.config.mps_width).encode())
+    return digest.hexdigest()[:16]
 
 
 @contextlib.contextmanager
@@ -126,6 +170,32 @@ def _prepared_config(job: AnalysisJob, cache_dir: str | None) -> AnalysisConfig:
     return config
 
 
+def job_result_from_analysis(fingerprint: str, name: str, analysis) -> JobResult:
+    """Flatten a successful :class:`~repro.core.analyzer.AnalysisResult`.
+
+    The one place the engine's wire record is built from an analysis — shared
+    by :func:`execute_job` and the facade's local derivation path
+    (:meth:`repro.api.AnalysisSession.analyze`), so the two can never drift.
+    """
+    return JobResult(
+        fingerprint=fingerprint,
+        name=name,
+        status="ok",
+        error_bound=analysis.error_bound,
+        final_delta=analysis.final_delta,
+        num_gates=analysis.num_gates,
+        num_branches=analysis.num_branches,
+        elapsed_seconds=analysis.elapsed_seconds,
+        sdp_solves=analysis.sdp_solves,
+        sdp_cache_hits=analysis.sdp_cache_hits,
+        sdp_dominance_hits=analysis.sdp_dominance_hits,
+        scheduled_solves=analysis.scheduled_solves,
+        mps_walks=analysis.mps_walks,
+        mps_width=analysis.mps_width,
+        noise_model=analysis.noise_model,
+    )
+
+
 def execute_job(
     job: AnalysisJob, *, cache_dir: str | None = None, fingerprint: str | None = None
 ) -> JobResult:
@@ -165,23 +235,7 @@ def execute_job(
             elapsed_seconds=time.perf_counter() - start,
             error=f"{type(exc).__name__}: {exc}",
         )
-    return JobResult(
-        fingerprint=fingerprint,
-        name=job.name,
-        status="ok",
-        error_bound=analysis.error_bound,
-        final_delta=analysis.final_delta,
-        num_gates=analysis.num_gates,
-        num_branches=analysis.num_branches,
-        elapsed_seconds=analysis.elapsed_seconds,
-        sdp_solves=analysis.sdp_solves,
-        sdp_cache_hits=analysis.sdp_cache_hits,
-        sdp_dominance_hits=analysis.sdp_dominance_hits,
-        scheduled_solves=analysis.scheduled_solves,
-        mps_walks=analysis.mps_walks,
-        mps_width=analysis.mps_width,
-        noise_model=analysis.noise_model,
-    )
+    return job_result_from_analysis(fingerprint, job.name, analysis)
 
 
 def _execute_payload(payload: str, cache_dir: str | None, fingerprint: str) -> dict:
@@ -240,6 +294,45 @@ class AnalysisEngine:
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             os.makedirs(self.cache_dir, exist_ok=True)
+        self._last_shards: dict | None = None
+
+    def stats(self) -> dict:
+        """Execution statistics: configuration plus the last batch's sharding."""
+        return {
+            "workers": self.workers,
+            "cache_dir": self.cache_dir,
+            "store_results": len(self.store) if self.store is not None else None,
+            "last_batch_shards": dict(self._last_shards) if self._last_shards else None,
+        }
+
+    def _shard_pending(
+        self, pending: list[tuple[str, AnalysisJob]]
+    ) -> list[tuple[str, AnalysisJob]]:
+        """Warm-start ordering: group pending jobs by program family.
+
+        Same-family jobs (overlapping gate-bound cache entries — see
+        :func:`job_family`) are made contiguous in submission order, so with a
+        shared ``cache_dir`` the bounds certified by one job land in the same
+        worker window as the lookups that want them, instead of every worker
+        paying its own cold start.  Within a family, jobs keep fingerprint
+        order so the schedule is deterministic; results stay aligned with the
+        submitted job list regardless of execution order, and the bounds are
+        bit-identical either way (the persistent cache answers exact keys
+        before the dominance layer).
+        """
+        families: dict[str, int] = {}
+        keyed = []
+        for fingerprint, job in pending:
+            family = job_family(job)
+            families[family] = families.get(family, 0) + 1
+            keyed.append((family, fingerprint, job))
+        keyed.sort(key=lambda item: (item[0], item[1]))
+        self._last_shards = {
+            "pending_jobs": len(pending),
+            "families": len(families),
+            "largest_family": max(families.values(), default=0),
+        }
+        return [(fingerprint, job) for _family, fingerprint, job in keyed]
 
     def run(self, jobs: Sequence[AnalysisJob], *, resume: bool = False) -> BatchReport:
         """Execute a batch and return results aligned with ``jobs``."""
@@ -257,11 +350,13 @@ class AnalysisEngine:
                     results[fingerprint] = self.store.get(fingerprint)
                     resumed += 1
 
-        pending = [
-            (fingerprint, job)
-            for fingerprint, job in unique.items()
-            if fingerprint not in results
-        ]
+        pending = self._shard_pending(
+            [
+                (fingerprint, job)
+                for fingerprint, job in unique.items()
+                if fingerprint not in results
+            ]
+        )
         if pending:
             if self.workers == 1:
                 executed = self._run_inline(pending, results)

@@ -1,45 +1,81 @@
-"""The serving front-end: submit analysis jobs over HTTP, poll by fingerprint.
+"""The serving front-end: submit analysis jobs over HTTP, await results.
 
 Installed as ``gleipnir-serve`` (see pyproject.toml)::
 
     gleipnir-serve --port 8780 --workers 4 --store results.jsonl --cache-dir .cache/bounds
 
-API (JSON over stdlib HTTP, no extra dependencies):
+The **versioned** API (JSON over stdlib HTTP, no extra dependencies) lives
+under ``/v1/`` and is what :class:`repro.api.Client` speaks:
 
-* ``POST /jobs`` — body is one job payload (see
-  :meth:`repro.engine.spec.AnalysisJob.to_json_dict`) or ``{"jobs": [...]}``.
-  Returns 202 with ``{"jobs": [{"fingerprint", "name", "status"}, ...]}``.
-  Submissions are *coalesced*: a batcher thread collects everything that
-  arrives within ``batch_window`` seconds (up to ``max_batch``) and hands it
-  to the engine as one batch, so concurrent clients share dedupe and the
-  warm bound cache.
-* ``GET /jobs/<fingerprint>`` — ``{"fingerprint", "name", "status",
-  "result"}`` where ``status`` is ``queued | running | done | failed`` and
-  ``result`` is the flat :class:`~repro.engine.spec.JobResult` dict once
-  finished.
-* ``GET /healthz`` — liveness plus queue statistics.
+* ``POST /v1/batches`` — body ``{"jobs": [<job payload>, ...]}`` (see
+  :meth:`repro.engine.spec.AnalysisJob.to_json_dict`).  Returns 202 with
+  ``{"jobs": [{"fingerprint", "name", "status", "result"}, ...], "batch":
+  {"submitted": n}}``.  Submissions are *coalesced*: a batcher thread
+  collects everything that arrives within ``batch_window`` seconds (up to
+  ``max_batch``) and hands it to the engine as one batch, so concurrent
+  clients share dedupe and the warm bound cache.  Batches larger than
+  ``max_submit`` jobs are rejected with 413.
+* ``GET /v1/jobs/<fingerprint>`` — the job's status entry, where ``status``
+  is ``queued | running | done | failed`` and ``result`` is the flat
+  :class:`~repro.engine.spec.JobResult` dict once finished.  404 for unknown
+  fingerprints.
+* ``GET /v1/jobs/<fingerprint>?wait=<seconds>`` — **result push via long
+  poll**: the request blocks (server-side, on a condition variable — no
+  polling anywhere) until the job finishes or the wait window closes, then
+  returns the latest entry.  A completed job therefore needs exactly one
+  request after submission.
+* ``GET /v1/capabilities`` — service discovery: API versions, job schema
+  version, server limits (batch sizes, wait window), worker count.
+
+Errors on ``/v1`` are **structured envelopes** mapped from the
+:class:`~repro.errors.ReproError` hierarchy::
+
+    {"error": {"type": "EngineError", "message": "...", "status": 400,
+               "repro_error": true}}
+
+so :class:`repro.api.Client` re-raises the exact exception class.
+
+The unversioned endpoints (``POST /jobs``, ``GET /jobs/<fp>``, ``/healthz``)
+are kept as a **deprecated** compatibility surface with their historical flat
+``{"error": str}`` shape; they answer identically to ``/v1`` (same service,
+same engine) and will be removed after one release.
 
 Duplicate submissions (same fingerprint) — including re-submissions of jobs
 already completed in the attached result store — are answered without
-re-execution; the fingerprint in the response is the handle for polling.
+re-execution; the fingerprint in the response is the handle for waiting.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import queue
 import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
 
-from ..errors import ReproError
+from ..errors import BatchLimitExceeded, EngineError, ReproError, error_envelope
+from ..version import __version__
 from .pool import AnalysisEngine
-from .spec import AnalysisJob
+from .spec import JOB_SCHEMA_VERSION, AnalysisJob
 from .store import ResultStore
 
-__all__ = ["AnalysisService", "make_server", "main"]
+__all__ = ["AnalysisService", "API_VERSION", "TERMINAL_STATUSES", "make_server", "main"]
+
+#: The one wire-format version this service speaks (bump on breaking changes).
+API_VERSION = "v1"
+
+#: Upper bound on one long-poll wait window; clients re-issue for longer waits.
+MAX_WAIT_SECONDS = 60.0
+
+#: The job statuses that mean "no further transition will happen" — the one
+#: definition every surface (service, facade, client) shares.
+TERMINAL_STATUSES = ("done", "failed")
+
+_FINISHED = TERMINAL_STATUSES
 
 
 class AnalysisService:
@@ -52,26 +88,46 @@ class AnalysisService:
         batch_window: float = 0.05,
         max_batch: int = 32,
         max_tracked: int = 4096,
+        max_submit: int = 1024,
+        resume: bool = True,
     ):
         self.engine = engine
         self.batch_window = float(batch_window)
         self.max_batch = int(max_batch)
+        #: Answer re-submissions from the attached result store (serving
+        #: default).  The facade's streaming path sets this to the session's
+        #: resume flag so as_completed and analyze_batch agree about whether
+        #: stored results are reused.
+        self.resume = bool(resume)
         #: In-memory status entries kept before finished ones are evicted
         #: (oldest first); evicted fingerprints are still answerable from the
         #: attached result store, so a long-running server stays bounded.
         self.max_tracked = int(max_tracked)
+        #: Largest number of jobs one submission may carry (413 beyond).
+        self.max_submit = int(max_submit)
         self._queue: queue.Queue[tuple[str, AnalysisJob]] = queue.Queue()
         self._status: dict[str, dict] = {}
-        self._lock = threading.Lock()
+        # One condition guards the status map and is notified whenever a job
+        # reaches a terminal state, so waiters (long-poll handlers, the
+        # facade's as_completed streaming) block instead of busy-polling.
+        self._cond = threading.Condition()
+        self._lock = self._cond
         self._running = False
+        self._stopped = False
         self._thread: threading.Thread | None = None
         self.batches_run = 0
+
+    @property
+    def stopped(self) -> bool:
+        """Whether :meth:`stop` ran — waiters return immediately from then on."""
+        return self._stopped
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
         if self._running:
             return
         self._running = True
+        self._stopped = False
         self._thread = threading.Thread(target=self._loop, name="engine-batcher", daemon=True)
         self._thread.start()
 
@@ -80,6 +136,12 @@ class AnalysisService:
         if self._thread is not None:
             self._thread.join(timeout=timeout)
             self._thread = None
+        # Release any long-poll waiters instead of leaving them to time out:
+        # the flag makes wait_for/wait_any return their current view on wakeup
+        # (no batcher is left to finish the work they were waiting on).
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
 
     # -- submission --------------------------------------------------------
     def submit_payload(self, payload: dict) -> dict:
@@ -98,6 +160,11 @@ class AnalysisService:
         validating lazily would execute the leading valid jobs and then
         reject the request.
         """
+        if len(payloads) > self.max_submit:
+            raise BatchLimitExceeded(
+                f"batch of {len(payloads)} jobs exceeds the per-submission "
+                f"limit of {self.max_submit}"
+            )
         jobs = [AnalysisJob.from_json_dict(payload) for payload in payloads]
         return [self.submit_job(job) for job in jobs]
 
@@ -109,7 +176,7 @@ class AnalysisService:
             if entry is not None and entry["status"] in ("queued", "running", "done"):
                 return dict(entry)
             store = self.engine.store
-            if store is not None and store.completed(fingerprint):
+            if self.resume and store is not None and store.completed(fingerprint):
                 entry = self._track(
                     self._entry(fingerprint, job.name, "done", store.get(fingerprint))
                 )
@@ -130,7 +197,7 @@ class AnalysisService:
             for fingerprint, tracked in list(self._status.items()):
                 if len(self._status) <= self.max_tracked:
                     break
-                if tracked["status"] in ("done", "failed"):
+                if tracked["status"] in _FINISHED:
                     del self._status[fingerprint]
         return entry
 
@@ -160,6 +227,28 @@ class AnalysisService:
                 )
         return None
 
+    def capabilities(self) -> dict:
+        """Service discovery payload for ``GET /v1/capabilities``."""
+        return {
+            "api": {"version": API_VERSION, "versions": [API_VERSION]},
+            "job_schema_version": JOB_SCHEMA_VERSION,
+            "server": {"name": "gleipnir-serve", "version": __version__},
+            "engine": self.engine.stats(),
+            "limits": {
+                "max_batch_jobs": self.max_submit,
+                "engine_batch_jobs": self.max_batch,
+                "batch_window_seconds": self.batch_window,
+                "max_wait_seconds": MAX_WAIT_SECONDS,
+            },
+            "endpoints": {
+                "submit": f"POST /{API_VERSION}/batches",
+                "job": f"GET /{API_VERSION}/jobs/<fingerprint>",
+                "wait": f"GET /{API_VERSION}/jobs/<fingerprint>?wait=<seconds>",
+                "capabilities": f"GET /{API_VERSION}/capabilities",
+            },
+            "deprecated_endpoints": ["POST /jobs", "GET /jobs/<fingerprint>"],
+        }
+
     def stats(self) -> dict:
         with self._lock:
             counts: dict[str, int] = {}
@@ -171,17 +260,72 @@ class AnalysisService:
             "batches_run": self.batches_run,
             "workers": self.engine.workers,
             "queue_depth": self._queue.qsize(),
+            "engine": self.engine.stats(),
         }
+
+    # -- waiting -----------------------------------------------------------
+    def wait_for(self, fingerprint: str, *, timeout: float) -> dict | None:
+        """Block until ``fingerprint`` finishes or ``timeout`` elapses.
+
+        Returns the latest status entry (possibly still ``queued``/``running``
+        at timeout), or None when the fingerprint is unknown to both the
+        in-memory map and the result store.  Waiting uses the service's
+        condition variable — notified by the batcher on every result — so
+        there is no sleep loop on either side of the HTTP connection.
+        """
+        deadline = time.monotonic() + max(0.0, float(timeout))
+        entry = self.status(fingerprint)
+        while True:
+            if entry is not None and entry["status"] in _FINISHED:
+                return entry
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or entry is None:
+                return entry
+            with self._cond:
+                # Re-check under the lock: a result recorded between the
+                # status() read above and acquiring the lock would otherwise
+                # be a lost wakeup.
+                current = self._status.get(fingerprint)
+                if current is not None and current["status"] in _FINISHED:
+                    return dict(current)
+                if self._stopped:
+                    return dict(current) if current is not None else entry
+                self._cond.wait(remaining)
+            entry = self.status(fingerprint)
 
     def wait(self, fingerprint: str, *, timeout: float = 60.0) -> dict:
         """Block until a submitted fingerprint finishes (tests and CLIs)."""
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
+        entry = self.wait_for(fingerprint, timeout=timeout)
+        if entry is None or entry["status"] not in _FINISHED:
+            raise TimeoutError(f"job {fingerprint} did not finish within {timeout:g}s")
+        return entry
+
+    def wait_any(
+        self, fingerprints: set[str] | frozenset[str], *, timeout: float = 60.0
+    ) -> str | None:
+        """A fingerprint from ``fingerprints`` that has finished (None on timeout).
+
+        Powers completion-order streaming (:meth:`repro.api.AnalysisSession.
+        as_completed`): the caller removes the returned fingerprint from its
+        pending set and calls again.
+        """
+        deadline = time.monotonic() + max(0.0, float(timeout))
+        while True:
+            with self._cond:
+                for fingerprint in fingerprints:
+                    entry = self._status.get(fingerprint)
+                    if entry is not None and entry["status"] in _FINISHED:
+                        return fingerprint
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._stopped:
+                    break
+                self._cond.wait(remaining)
+        # Last chance: fingerprints answerable only from the result store.
+        for fingerprint in fingerprints:
             entry = self.status(fingerprint)
-            if entry is not None and entry["status"] in ("done", "failed"):
-                return entry
-            time.sleep(0.01)
-        raise TimeoutError(f"job {fingerprint} did not finish within {timeout:g}s")
+            if entry is not None and entry["status"] in _FINISHED:
+                return fingerprint
+        return None
 
     # -- batcher -----------------------------------------------------------
     def _drain_batch(self) -> list[tuple[str, AnalysisJob]]:
@@ -210,76 +354,172 @@ class AnalysisService:
                 for fingerprint, _ in batch:
                     self._status[fingerprint]["status"] = "running"
             try:
-                report = self.engine.run([job for _, job in batch], resume=True)
+                report = self.engine.run([job for _, job in batch], resume=self.resume)
             except Exception as exc:  # engine must never kill the batcher
                 with self._lock:
                     for fingerprint, job in batch:
                         entry = self._track(self._entry(fingerprint, job.name, "failed", None))
                         entry["error"] = f"{type(exc).__name__}: {exc}"
+                    self._cond.notify_all()
                 continue
             with self._lock:
                 for (fingerprint, job), result in zip(batch, report.results):
                     status = "done" if result.ok else "failed"
                     self._track(self._entry(fingerprint, job.name, status, result))
+                self._cond.notify_all()
             self.batches_run += 1
 
 
 def make_server(
     service: AnalysisService, host: str = "127.0.0.1", port: int = 0
 ) -> ThreadingHTTPServer:
-    """An HTTP server bound to ``host:port`` (port 0 = ephemeral) for ``service``."""
+    """An HTTP server bound to ``host:port`` (port 0 = ephemeral) for ``service``.
+
+    Each request runs in its own thread (``ThreadingHTTPServer``), so a
+    long-poll ``GET /v1/jobs/<fp>?wait=`` blocks only its connection.
+    """
 
     class Handler(BaseHTTPRequestHandler):
         def log_message(self, format: str, *args) -> None:  # quiet by default
             pass
 
-        def _send_json(self, code: int, payload: dict) -> None:
+        def _send_json(self, code: int, payload: dict, *, deprecated: bool = False) -> None:
             body = json.dumps(payload).encode()
             self.send_response(code)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            if deprecated:
+                self.send_header("Deprecation", "true")
+                self.send_header("Link", f'</{API_VERSION}/batches>; rel="successor-version"')
             self.end_headers()
             self.wfile.write(body)
 
+        def _send_error(self, exc: BaseException, status: int) -> None:
+            self._send_json(status, error_envelope(exc, status=status))
+
+        def _read_body(self):
+            length = int(self.headers.get("Content-Length", 0))
+            return json.loads(self.rfile.read(length) or b"null")
+
+        # -- /v1 ------------------------------------------------------------
+        def _v1_get(self, path: str, query: dict) -> None:
+            if path == "/capabilities":
+                self._send_json(200, service.capabilities())
+                return
+            if path.startswith("/jobs/"):
+                fingerprint = path[len("/jobs/"):]
+                wait = query.get("wait")
+                if wait is not None:
+                    try:
+                        requested = float(wait[0])
+                        if not math.isfinite(requested):
+                            # NaN slips through min/max clamps and would turn
+                            # the condition wait into a busy spin.
+                            raise ValueError("wait must be finite")
+                        seconds = min(max(requested, 0.0), MAX_WAIT_SECONDS)
+                    except (TypeError, ValueError):
+                        self._send_error(
+                            EngineError(f"invalid wait parameter {wait[0]!r}"), 400
+                        )
+                        return
+                    entry = service.wait_for(fingerprint, timeout=seconds)
+                else:
+                    entry = service.status(fingerprint)
+                if entry is None:
+                    from ..errors import JobNotFoundError
+
+                    self._send_error(
+                        JobNotFoundError(f"unknown fingerprint {fingerprint!r}"), 404
+                    )
+                else:
+                    self._send_json(200, entry)
+                return
+            self._send_error(EngineError(f"unknown path {self.path!r}"), 404)
+
+        def _v1_post(self, path: str) -> None:
+            if path != "/batches":
+                self._send_error(EngineError(f"unknown path {self.path!r}"), 404)
+                return
+            try:
+                payload = self._read_body()
+            except (ValueError, json.JSONDecodeError) as exc:
+                self._send_error(EngineError(f"invalid JSON body: {exc}"), 400)
+                return
+            if not isinstance(payload, dict) or not isinstance(payload.get("jobs"), list):
+                self._send_error(
+                    EngineError("body must be {'jobs': [<job payload>, ...]}"), 400
+                )
+                return
+            submissions = payload["jobs"]
+            if not submissions:
+                self._send_error(EngineError("batch must contain at least one job"), 400)
+                return
+            try:
+                entries = service.submit_payloads(submissions)
+            except BatchLimitExceeded as exc:
+                self._send_error(exc, 413)
+                return
+            except ReproError as exc:
+                self._send_error(exc, 400)
+                return
+            self._send_json(
+                202, {"jobs": entries, "batch": {"submitted": len(entries)}}
+            )
+
+        # -- dispatch -------------------------------------------------------
         def do_GET(self) -> None:
-            path = self.path.split("?", 1)[0].rstrip("/")
+            parsed = urlparse(self.path)
+            path = parsed.path.rstrip("/")
+            query = parse_qs(parsed.query)
+            if path.startswith(f"/{API_VERSION}"):
+                self._v1_get(path[len(API_VERSION) + 1 :], query)
+                return
             if path == "/healthz":
                 self._send_json(200, service.stats())
                 return
+            # Deprecated unversioned surface (flat error shape, no long poll).
             if path.startswith("/jobs/"):
                 fingerprint = path[len("/jobs/"):]
                 entry = service.status(fingerprint)
                 if entry is None:
-                    self._send_json(404, {"error": f"unknown fingerprint {fingerprint!r}"})
+                    self._send_json(
+                        404, {"error": f"unknown fingerprint {fingerprint!r}"},
+                        deprecated=True,
+                    )
                 else:
-                    self._send_json(200, entry)
+                    self._send_json(200, entry, deprecated=True)
                 return
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
         def do_POST(self) -> None:
-            path = self.path.split("?", 1)[0].rstrip("/")
+            parsed = urlparse(self.path)
+            path = parsed.path.rstrip("/")
+            if path.startswith(f"/{API_VERSION}"):
+                self._v1_post(path[len(API_VERSION) + 1 :])
+                return
             if path != "/jobs":
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
                 return
             try:
-                length = int(self.headers.get("Content-Length", 0))
-                payload = json.loads(self.rfile.read(length) or b"null")
+                payload = self._read_body()
             except (ValueError, json.JSONDecodeError) as exc:
-                self._send_json(400, {"error": f"invalid JSON body: {exc}"})
+                self._send_json(400, {"error": f"invalid JSON body: {exc}"}, deprecated=True)
                 return
             if isinstance(payload, dict) and "jobs" in payload:
                 submissions = payload["jobs"]
             else:
                 submissions = [payload]
             if not isinstance(submissions, list) or not submissions:
-                self._send_json(400, {"error": "body must be a job or {'jobs': [...]}"})
+                self._send_json(
+                    400, {"error": "body must be a job or {'jobs': [...]}"}, deprecated=True
+                )
                 return
             try:
                 entries = service.submit_payloads(submissions)
             except ReproError as exc:
-                self._send_json(400, {"error": str(exc)})
+                self._send_json(400, {"error": str(exc)}, deprecated=True)
                 return
-            self._send_json(202, {"jobs": entries})
+            self._send_json(202, {"jobs": entries}, deprecated=True)
 
     return ThreadingHTTPServer((host, port), Handler)
 
@@ -287,7 +527,7 @@ def make_server(
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gleipnir-serve",
-        description="Serve Gleipnir analysis jobs over HTTP (submit, batch, poll).",
+        description="Serve Gleipnir analysis jobs over HTTP (submit, batch, await).",
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8780)
@@ -298,6 +538,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-window", type=float, default=0.05, help="coalescing window in seconds"
     )
     parser.add_argument("--max-batch", type=int, default=32, help="max jobs per engine batch")
+    parser.add_argument(
+        "--max-submit", type=int, default=1024, help="max jobs in one POST /v1/batches"
+    )
     return parser
 
 
@@ -308,11 +551,20 @@ def main(argv: list[str] | None = None) -> int:
         store=ResultStore(args.store) if args.store else None,
         cache_dir=args.cache_dir,
     )
-    service = AnalysisService(engine, batch_window=args.batch_window, max_batch=args.max_batch)
+    service = AnalysisService(
+        engine,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        max_submit=args.max_submit,
+    )
     service.start()
     server = make_server(service, args.host, args.port)
     host, port = server.server_address[:2]
-    print(f"gleipnir-serve listening on http://{host}:{port} (workers={args.workers})")
+    print(
+        f"gleipnir-serve listening on http://{host}:{port} "
+        f"(api {API_VERSION}, workers={args.workers})",
+        flush=True,
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -77,3 +77,58 @@ class EngineError(ReproError):
     deserialising a job payload with an unknown schema version, or submitting
     a malformed job to the serving front-end.
     """
+
+
+class JobNotFoundError(EngineError):
+    """Raised when a job fingerprint is unknown to the service and its store."""
+
+
+class BatchLimitExceeded(EngineError):
+    """Raised when one submission exceeds the service's per-batch job limit."""
+
+
+# ---------------------------------------------------------------------------
+# Wire format: structured error envelopes for the /v1 HTTP surface
+# ---------------------------------------------------------------------------
+
+def _error_types() -> dict[str, type]:
+    """Every concrete :class:`ReproError` subclass, by class name."""
+    types: dict[str, type] = {"ReproError": ReproError}
+    pending = [ReproError]
+    while pending:
+        for subclass in pending.pop().__subclasses__():
+            types[subclass.__name__] = subclass
+            pending.append(subclass)
+    return types
+
+
+def error_envelope(exc: BaseException, *, status: int) -> dict:
+    """The machine-readable JSON envelope the /v1 service returns for ``exc``.
+
+    The ``type`` field carries the :class:`ReproError` subclass name so a
+    client can re-raise the exact exception class; ``repro_error`` tells
+    foreign clients whether the type belongs to this hierarchy at all.
+    """
+    return {
+        "error": {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "status": int(status),
+            "repro_error": isinstance(exc, ReproError),
+        }
+    }
+
+
+def error_from_envelope(payload: dict, *, status: int | None = None) -> Exception:
+    """Reconstruct the exception a /v1 error envelope describes.
+
+    Unknown or foreign types degrade to :class:`EngineError` (for 4xx/None)
+    so callers can still catch everything service-shaped with one clause.
+    """
+    entry = payload.get("error") if isinstance(payload, dict) else None
+    if not isinstance(entry, dict):
+        message = str(payload) if payload else f"HTTP error {status}"
+        return EngineError(message)
+    message = str(entry.get("message", "unknown service error"))
+    cls = _error_types().get(str(entry.get("type")), EngineError)
+    return cls(message)

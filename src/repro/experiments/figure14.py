@@ -11,12 +11,12 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Sequence
 
+from ..api import AnalysisSession
 from ..config import AnalysisConfig, DEFAULT_BIT_FLIP_PROBABILITY
-from ..engine.pool import AnalysisEngine
-from ..engine.spec import AnalysisJob
 from ..errors import ExperimentError
 from ..noise.model import NoiseModel
 from ..programs.library import benchmark_by_name
+from ._session import resolve_session
 
 __all__ = ["Figure14Point", "Figure14Result", "run_figure14", "DEFAULT_WIDTHS"]
 
@@ -59,6 +59,7 @@ def run_figure14(
     widths: Sequence[int] = DEFAULT_WIDTHS,
     bit_flip_probability: float = DEFAULT_BIT_FLIP_PROBABILITY,
     config: AnalysisConfig | None = None,
+    session: AnalysisSession | None = None,
     workers: int = 1,
     resume: bool = False,
     store_path: str | None = None,
@@ -68,31 +69,40 @@ def run_figure14(
     """Sweep the MPS width on the Ising benchmark and record bound/runtime.
 
     Each width is one content-addressed :class:`~repro.engine.spec.AnalysisJob`
-    (the MPS width is part of the fingerprint), so the sweep shards across
-    ``workers`` processes and resumes from ``store_path`` like any other
-    engine batch.  ``scheduler=False`` forces the sequential per-gate path
-    instead of the single-pass scheduled pipeline.
+    (the MPS width is part of the fingerprint), so the sweep shards and
+    resumes like any other batch through the :mod:`repro.api` facade.
+    ``scheduler=False`` forces the sequential per-gate path instead of the
+    single-pass scheduled pipeline.  The ``workers``/``resume``/
+    ``store_path``/``cache_dir`` kwargs are **deprecated** shims for
+    ``session=``.
     """
     spec = benchmark_by_name(benchmark, scale)
     circuit = spec.build()
     noise_model = NoiseModel.uniform_bit_flip(bit_flip_probability)
 
-    jobs = [
-        AnalysisJob.from_circuit(
-            circuit,
-            noise_model,
-            config=(config or AnalysisConfig()).replace(
-                mps_width=int(width), scheduler=scheduler
-            ),
-            name=f"{spec.name}[w={int(width)}]",
-        )
-        for width in widths
-    ]
-    engine = AnalysisEngine(workers=workers, store=store_path, cache_dir=cache_dir)
-    report = engine.run(jobs, resume=resume)
+    with resolve_session(
+        session,
+        workers=workers,
+        resume=resume,
+        store_path=store_path,
+        cache_dir=cache_dir,
+        what="run_figure14",
+    ) as active:
+        jobs = [
+            active.job(
+                circuit,
+                noise_model,
+                config=(config or AnalysisConfig()).replace(
+                    mps_width=int(width), scheduler=scheduler
+                ),
+                name=f"{spec.name}[w={int(width)}]",
+            )
+            for width in widths
+        ]
+        outcomes = active.analyze_batch(jobs)
 
     points: list[Figure14Point] = []
-    for width, analysis in zip(widths, report.results):
+    for width, analysis in zip(widths, outcomes):
         if not analysis.ok:
             raise ExperimentError(
                 f"figure-14 point w={width} {analysis.status}: {analysis.error}"
@@ -100,7 +110,7 @@ def run_figure14(
         points.append(
             Figure14Point(
                 mps_width=int(width),
-                error_bound=analysis.error_bound,
+                error_bound=analysis.bound,
                 runtime_seconds=analysis.elapsed_seconds,
                 final_delta=analysis.final_delta,
             )

@@ -11,10 +11,12 @@ Installed as ``gleipnir-experiments`` (see pyproject.toml)::
 ``--scale full`` reproduces the paper-scale configuration (10–100 qubits,
 MPS width 128); expect runtimes of minutes per row, as in the paper.
 
-``--workers N`` shards the Gleipnir analyses of ``table2``/``figure14``
-across an engine process pool (:mod:`repro.engine`); ``--store`` +
-``--resume`` make a killed sweep re-run only its missing jobs, and
-``--cache-dir`` shares one on-disk bound cache between workers and runs.
+Every command drives one :class:`repro.api.AnalysisSession` (the shared
+front door): ``--workers N`` shards the Gleipnir analyses across an engine
+process pool, ``--store`` + ``--resume`` make a killed sweep re-run only its
+missing jobs, ``--cache-dir`` shares one on-disk bound cache between workers
+and runs, and ``--remote URL`` submits everything to a running
+``gleipnir-serve`` instead of analysing locally.
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..api import add_session_arguments, session_from_args
 from .figure14 import DEFAULT_WIDTHS, run_figure14
 from .report import render_figure14, render_table2, render_table3
 from .table2 import run_table2
@@ -41,25 +44,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--scale", choices=["reduced", "full"], default="reduced")
         sub.add_argument("--markdown", action="store_true", help="emit Markdown tables")
         sub.add_argument("--output", type=str, default=None, help="write the report to a file")
-
-    def add_engine(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument(
-            "--workers", type=int, default=1, help="engine process-pool size (1 = inline)"
-        )
-        sub.add_argument(
-            "--resume",
-            action="store_true",
-            help="skip jobs already completed in --store",
-        )
-        sub.add_argument(
-            "--store", type=str, default=None, help="JSONL result store (enables --resume)"
-        )
-        sub.add_argument(
-            "--cache-dir",
-            type=str,
-            default=None,
-            help="shared on-disk bound cache for the engine workers",
-        )
+        add_session_arguments(sub)
         sub.add_argument(
             "--no-scheduler",
             action="store_true",
@@ -68,14 +53,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     table2 = subparsers.add_parser("table2", help="error bounds on the benchmark suite")
     add_common(table2)
-    add_engine(table2)
     table2.add_argument("--mps-width", type=int, default=None)
     table2.add_argument("--benchmarks", nargs="*", default=None)
     table2.add_argument("--no-lqr", action="store_true", help="skip the LQR baseline")
 
     figure14 = subparsers.add_parser("figure14", help="bound/runtime vs MPS size")
     add_common(figure14)
-    add_engine(figure14)
     figure14.add_argument("--widths", nargs="*", type=int, default=list(DEFAULT_WIDTHS))
     figure14.add_argument("--benchmark", type=str, default="Isingmodel45")
 
@@ -100,34 +83,33 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    engine_kwargs = {
-        "workers": getattr(args, "workers", 1),
-        "resume": getattr(args, "resume", False),
-        "store_path": getattr(args, "store", None),
-        "cache_dir": getattr(args, "cache_dir", None),
-        "scheduler": not getattr(args, "no_scheduler", False),
-    }
-
+    scheduler = not getattr(args, "no_scheduler", False)
     sections: list[str] = []
-    if args.command in ("table2", "all"):
-        result = run_table2(
-            scale=args.scale,
-            mps_width=getattr(args, "mps_width", None),
-            benchmarks=getattr(args, "benchmarks", None),
-            include_lqr=not getattr(args, "no_lqr", False),
-            **engine_kwargs,
-        )
-        sections.append(render_table2(result, markdown=args.markdown))
-    if args.command in ("figure14", "all"):
-        widths = getattr(args, "widths", list(DEFAULT_WIDTHS))
-        benchmark = getattr(args, "benchmark", "Isingmodel45")
-        result = run_figure14(
-            scale=args.scale, widths=widths, benchmark=benchmark, **engine_kwargs
-        )
-        sections.append(render_figure14(result, markdown=args.markdown))
-    if args.command in ("table3", "all"):
-        result = run_table3(shots=getattr(args, "shots", 8192))
-        sections.append(render_table3(result, markdown=args.markdown))
+    with session_from_args(args) as session:
+        if args.command in ("table2", "all"):
+            result = run_table2(
+                scale=args.scale,
+                mps_width=getattr(args, "mps_width", None),
+                benchmarks=getattr(args, "benchmarks", None),
+                include_lqr=not getattr(args, "no_lqr", False),
+                session=session,
+                scheduler=scheduler,
+            )
+            sections.append(render_table2(result, markdown=args.markdown))
+        if args.command in ("figure14", "all"):
+            widths = getattr(args, "widths", list(DEFAULT_WIDTHS))
+            benchmark = getattr(args, "benchmark", "Isingmodel45")
+            result = run_figure14(
+                scale=args.scale,
+                widths=widths,
+                benchmark=benchmark,
+                session=session,
+                scheduler=scheduler,
+            )
+            sections.append(render_figure14(result, markdown=args.markdown))
+        if args.command in ("table3", "all"):
+            result = run_table3(shots=getattr(args, "shots", 8192), session=session)
+            sections.append(render_table3(result, markdown=args.markdown))
 
     _emit("\n\n".join(sections), args.output)
     return 0

@@ -20,14 +20,14 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Sequence
 
+from ..api import AnalysisOutcome, AnalysisSession
 from ..circuits.circuit import Circuit
 from ..config import AnalysisConfig, DEFAULT_BIT_FLIP_PROBABILITY
 from ..core.baselines import lqr_full_simulation_bound, worst_case_bound
-from ..engine.pool import AnalysisEngine, execute_job
-from ..engine.spec import AnalysisJob, JobResult
 from ..errors import ExperimentError
 from ..noise.model import NoiseModel
 from ..programs.library import BenchmarkSpec, table2_benchmarks
+from ._session import resolve_session
 
 __all__ = ["Table2Row", "Table2Result", "run_table2", "run_table2_row"]
 
@@ -85,13 +85,13 @@ def _noise_model(bit_flip_probability: float) -> NoiseModel:
 def _assemble_row(
     spec: BenchmarkSpec,
     circuit: Circuit,
-    analysis: JobResult,
+    analysis: AnalysisOutcome,
     noise_model: NoiseModel,
     config: AnalysisConfig,
     *,
     include_lqr: bool,
 ) -> Table2Row:
-    """Combine one engine result with the (inline) baselines into a row."""
+    """Combine one facade outcome with the (inline) baselines into a row."""
     if not analysis.ok:
         raise ExperimentError(
             f"analysis of benchmark {spec.name!r} {analysis.status}: {analysis.error}"
@@ -111,7 +111,7 @@ def _assemble_row(
         benchmark=spec.name,
         num_qubits=circuit.num_qubits,
         gate_count=circuit.gate_count(),
-        gleipnir_bound=analysis.error_bound,
+        gleipnir_bound=analysis.bound,
         gleipnir_seconds=analysis.elapsed_seconds,
         lqr_bound=lqr_bound,
         lqr_seconds=lqr_seconds,
@@ -132,14 +132,16 @@ def run_table2_row(
     bit_flip_probability: float = DEFAULT_BIT_FLIP_PROBABILITY,
     config: AnalysisConfig | None = None,
     include_lqr: bool = True,
+    session: AnalysisSession | None = None,
 ) -> Table2Row:
-    """Run one benchmark through Gleipnir and the baselines."""
+    """Run one benchmark through Gleipnir (via ``repro.api``) and the baselines."""
     circuit = spec.build()
     noise_model = _noise_model(bit_flip_probability)
     config = (config or AnalysisConfig()).replace(mps_width=mps_width)
-    job = AnalysisJob.from_circuit(circuit, noise_model, config=config, name=spec.name)
+    with resolve_session(session, what="run_table2_row") as active:
+        outcome = active.analyze(circuit, noise_model, config=config, name=spec.name)
     return _assemble_row(
-        spec, circuit, execute_job(job), noise_model, config, include_lqr=include_lqr
+        spec, circuit, outcome, noise_model, config, include_lqr=include_lqr
     )
 
 
@@ -151,6 +153,7 @@ def run_table2(
     benchmarks: Sequence[str] | None = None,
     config: AnalysisConfig | None = None,
     include_lqr: bool = True,
+    session: AnalysisSession | None = None,
     workers: int = 1,
     resume: bool = False,
     store_path: str | None = None,
@@ -159,7 +162,7 @@ def run_table2(
 ) -> Table2Result:
     """Regenerate Table 2 at the requested scale.
 
-    The Gleipnir analyses are submitted to the :mod:`repro.engine` as one
+    The Gleipnir analyses run through the :mod:`repro.api` facade as one
     batch of content-addressed jobs; the baselines (worst case, LQR) stay
     inline because they are either trivial or deliberately report timeouts.
 
@@ -170,12 +173,11 @@ def run_table2(
         benchmarks: optional subset of benchmark names to run.
         config: analysis configuration overrides.
         include_lqr: also run the LQR + full-simulation baseline.
-        workers: engine process-pool size (1 = inline, bit-identical to the
-            historical sequential path).
-        resume: answer already-completed jobs from ``store_path`` instead of
-            re-running them.
-        store_path: JSONL result store making the sweep resumable.
-        cache_dir: shared on-disk gate-bound cache for the engine workers.
+        session: the :class:`~repro.api.AnalysisSession` to run through (local
+            or remote); an ephemeral inline session is created when omitted.
+        workers / resume / store_path / cache_dir: **deprecated** — legacy
+            engine kwargs, kept as a shim that builds the equivalent session
+            (with a :class:`DeprecationWarning`); use ``session=`` instead.
         scheduler: run the single-pass scheduled pipeline (default); False
             forces the sequential per-gate path, mainly for comparisons.
     """
@@ -194,17 +196,24 @@ def run_table2(
         mps_width=mps_width, scheduler=scheduler
     )
     circuits = [spec.build() for spec in specs]
-    jobs = [
-        AnalysisJob.from_circuit(circuit, noise_model, config=run_config, name=spec.name)
-        for spec, circuit in zip(specs, circuits)
-    ]
-    engine = AnalysisEngine(workers=workers, store=store_path, cache_dir=cache_dir)
-    report = engine.run(jobs, resume=resume)
+    with resolve_session(
+        session,
+        workers=workers,
+        resume=resume,
+        store_path=store_path,
+        cache_dir=cache_dir,
+        what="run_table2",
+    ) as active:
+        jobs = [
+            active.job(circuit, noise_model, config=run_config, name=spec.name)
+            for spec, circuit in zip(specs, circuits)
+        ]
+        outcomes = active.analyze_batch(jobs)
     rows = [
         _assemble_row(
             spec, circuit, analysis, noise_model, run_config, include_lqr=include_lqr
         )
-        for spec, circuit, analysis in zip(specs, circuits, report.results)
+        for spec, circuit, analysis in zip(specs, circuits, outcomes)
     ]
     return Table2Result(
         rows=rows,

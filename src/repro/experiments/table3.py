@@ -20,10 +20,10 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Sequence
 
+from ..api import AnalysisSession
 from ..circuits.circuit import Circuit
 from ..circuits.gates import identity as identity_gate
 from ..config import AnalysisConfig
-from ..core.analyzer import GleipnirAnalyzer
 from ..devices.boeblingen import boeblingen_calibration
 from ..devices.coupling import CouplingMap
 from ..devices.emulator import HardwareEmulator
@@ -32,6 +32,7 @@ from ..noise.calibration import CalibrationData
 from ..noise.channels import bit_flip
 from ..noise.model import NoiseModel
 from ..programs.ghz import ghz_circuit
+from ._session import resolve_session
 
 __all__ = [
     "Table3Row",
@@ -116,6 +117,23 @@ def _with_readout_noise(
     return circuit
 
 
+def _mapped_job_inputs(
+    mapped: MappedCircuit,
+    calibration: CalibrationData,
+    *,
+    noise_kind: str = "depolarizing",
+    include_readout: bool = True,
+) -> tuple[Circuit, NoiseModel]:
+    """The (circuit, calibration noise model) pair one mapping analysis needs."""
+    from ..devices.mapping import mapping_noise_model
+
+    noise_model = mapping_noise_model(calibration, kind=noise_kind)
+    circuit = mapped.physical_circuit
+    if include_readout:
+        circuit = _with_readout_noise(mapped, calibration, noise_model)
+    return circuit, noise_model
+
+
 def analyze_mapped_circuit(
     mapped: MappedCircuit,
     calibration: CalibrationData,
@@ -123,18 +141,18 @@ def analyze_mapped_circuit(
     config: AnalysisConfig | None = None,
     noise_kind: str = "depolarizing",
     include_readout: bool = True,
+    session: AnalysisSession | None = None,
 ) -> float:
     """Gleipnir bound of a mapped circuit under the device noise model."""
-    from ..devices.mapping import mapping_noise_model
-
-    noise_model = mapping_noise_model(calibration, kind=noise_kind)
-    circuit = mapped.physical_circuit
-    if include_readout:
-        circuit = _with_readout_noise(mapped, calibration, noise_model)
+    circuit, noise_model = _mapped_job_inputs(
+        mapped, calibration, noise_kind=noise_kind, include_readout=include_readout
+    )
     config = config or AnalysisConfig(mps_width=16)
-    analyzer = GleipnirAnalyzer(noise_model, config)
-    result = analyzer.analyze(circuit, program_name=circuit.name)
-    return result.error_bound
+    with resolve_session(session, what="analyze_mapped_circuit") as active:
+        outcome = active.analyze(
+            circuit, noise_model, config=config, name=circuit.name
+        ).raise_for_status()
+    return outcome.bound
 
 
 def run_table3(
@@ -146,29 +164,50 @@ def run_table3(
     config: AnalysisConfig | None = None,
     noise_kind: str = "depolarizing",
     seed: int = 7,
+    session: AnalysisSession | None = None,
 ) -> Table3Result:
-    """Regenerate Table 3 on the emulated Boeblingen-like device."""
+    """Regenerate Table 3 on the emulated Boeblingen-like device.
+
+    Every (circuit, mapping) bound is one content-addressed job submitted
+    through the :mod:`repro.api` facade as a single batch; the emulator's
+    "measured" errors stay inline (they are the experiment's ground truth,
+    not analyses).
+    """
     coupling = coupling or CouplingMap.ibm_boeblingen()
     calibration = calibration or boeblingen_calibration()
     experiments = experiments if experiments is not None else default_mapping_experiments()
     emulator = HardwareEmulator(coupling, calibration, noise_kind=noise_kind, seed=seed)
+    run_config = config or AnalysisConfig(mps_width=16)
+
+    cases: list[tuple[str, tuple[int, ...], MappedCircuit]] = []
+    with resolve_session(session, what="run_table3") as active:
+        jobs = []
+        for circuit_name, circuit, mappings in experiments:
+            for mapping in mappings:
+                mapped = map_circuit(circuit, mapping, coupling)
+                job_circuit, noise_model = _mapped_job_inputs(
+                    mapped, calibration, noise_kind=noise_kind
+                )
+                jobs.append(
+                    active.job(
+                        job_circuit, noise_model, config=run_config, name=job_circuit.name
+                    )
+                )
+                cases.append((circuit_name, tuple(mapping), mapped))
+        outcomes = active.analyze_batch(jobs)
 
     rows: list[Table3Row] = []
-    for circuit_name, circuit, mappings in experiments:
-        for mapping in mappings:
-            mapped = map_circuit(circuit, mapping, coupling)
-            bound = analyze_mapped_circuit(
-                mapped, calibration, config=config, noise_kind=noise_kind
+    for (circuit_name, mapping, mapped), outcome in zip(cases, outcomes):
+        outcome.raise_for_status()
+        measured = emulator.measured_error(mapped, shots=shots)
+        rows.append(
+            Table3Row(
+                circuit=circuit_name,
+                mapping=mapping,
+                mapping_label="-".join(str(q) for q in mapping),
+                gleipnir_bound=outcome.bound,
+                measured_error=measured,
+                physical_gate_count=mapped.physical_circuit.gate_count(),
             )
-            measured = emulator.measured_error(mapped, shots=shots)
-            rows.append(
-                Table3Row(
-                    circuit=circuit_name,
-                    mapping=tuple(mapping),
-                    mapping_label="-".join(str(q) for q in mapping),
-                    gleipnir_bound=bound,
-                    measured_error=measured,
-                    physical_gate_count=mapped.physical_circuit.gate_count(),
-                )
-            )
+        )
     return Table3Result(rows=rows, shots=shots, calibration_name=calibration.name)

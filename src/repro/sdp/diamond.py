@@ -954,6 +954,17 @@ class GateBoundCache:
       warm.  Loaded entries carry their full dual certificate and are
       re-verified with :func:`repro.sdp.certificates.verify_certificate`
       before being trusted.
+
+    With ``max_entries`` set the in-memory map is **size-capped**: every hit
+    refreshes its entry's recency, and inserting past the cap compacts the
+    least-recently-used entries away (``evictions`` counts them).  Compaction
+    evicts the LRU entry's whole predicate group (every δ of the same rounded
+    ρ̂), so a surviving weaker-δ sibling can never shadow an evicted exact
+    entry through the dominance layer.  Eviction therefore only forgets
+    memoised work: a later request recomputes its bound exactly (or reloads
+    it from the persistent store) — in exact arithmetic a capped cache never
+    reports a *looser* bound than the unbounded one, and every answer stays
+    a certified sound bound.
     """
 
     def __init__(
@@ -962,10 +973,16 @@ class GateBoundCache:
         *,
         dominance: bool = True,
         store_path: str | None = None,
+        max_entries: int | None = None,
     ):
         self.decimals = int(decimals)
         self.dominance = bool(dominance)
         self.store_path = store_path
+        if max_entries is not None and int(max_entries) < 1:
+            raise ValueError("max_entries must be at least 1 (or None)")
+        self.max_entries = int(max_entries) if max_entries is not None else None
+        # Insertion order doubles as recency order: hits re-insert their key
+        # at the end (dicts preserve order), so compaction pops the front.
         self._store: dict[tuple, DiamondNormBound] = {}
         # partial key (everything but δ) -> sorted list of (δ, full key)
         self._by_predicate: dict[tuple, list[tuple[float, tuple]]] = {}
@@ -974,8 +991,38 @@ class GateBoundCache:
         self.misses = 0
         self.dominance_hits = 0
         self.persistent_hits = 0
+        self.evictions = 0
         if store_path is not None:
             os.makedirs(store_path, exist_ok=True)
+
+    # -- LRU bookkeeping -----------------------------------------------------
+    def _touch(self, key: tuple) -> None:
+        """Move a hit to the recency tail (no-op when the cache is unbounded)."""
+        if self.max_entries is None:
+            return
+        with self._lock:
+            bound = self._store.pop(key, None)
+            if bound is not None:
+                self._store[key] = bound
+
+    def _compact(self) -> None:
+        """Evict LRU entries down to ``max_entries``.  Callers hold ``self._lock``.
+
+        The LRU victim's whole predicate group goes with it: leaving a
+        weaker-δ sibling behind would let the dominance layer answer the
+        evicted key's next request with that looser (still sound) bound
+        instead of the exact recompute an unbounded cache would have served.
+        """
+        if self.max_entries is None:
+            return
+        while len(self._store) > self.max_entries:
+            oldest = next(iter(self._store))
+            partial = oldest[:-1]
+            group = [key for _delta, key in self._by_predicate.get(partial, ())]
+            for key in group or [oldest]:
+                if self._store.pop(key, None) is not None:
+                    self.evictions += 1
+            self._by_predicate.pop(partial, None)
 
     def _quantise(
         self, rho_local: np.ndarray, delta: float
@@ -1024,6 +1071,7 @@ class GateBoundCache:
         """
         cached = self._store.get(key)
         if cached is not None:
+            self._touch(key)
             return cached
         if fingerprint is not None and expected_problem is not None:
             # Persistent hits ARE counted here: loading promotes the entry
@@ -1053,6 +1101,7 @@ class GateBoundCache:
             if stored_delta >= delta_key:
                 found = self._store.get(stored_key)
                 if found is not None:
+                    self._touch(stored_key)
                     if count:
                         self.dominance_hits += 1
                     return found
@@ -1193,6 +1242,7 @@ class GateBoundCache:
         with self._lock:
             self._store[key] = bound
             self._index_key(key)
+            self._compact()
         if count:
             self.persistent_hits += 1
         return bound
@@ -1251,6 +1301,7 @@ class GateBoundCache:
         with self._lock:
             self._store[key] = bound
             self._index_key(key)
+            self._compact()
             if count_as_solve:
                 self.misses += 1
         self._persistent_save(key, bound, fingerprint)
@@ -1275,6 +1326,7 @@ class GateBoundCache:
         key = key_parts + (rho_bytes, delta_key)
         cached = self._store.get(key)
         if cached is not None:
+            self._touch(key)
             self.hits += 1
             return cached
         # Persistent exact entries are consulted before dominance: a
@@ -1316,6 +1368,7 @@ class GateBoundCache:
         with self._lock:
             self._store[key] = bound
             self._index_key(key)
+            self._compact()
         self._persistent_save(key, bound, fingerprint)
         return bound
 
@@ -1330,3 +1383,4 @@ class GateBoundCache:
             self.misses = 0
             self.dominance_hits = 0
             self.persistent_hits = 0
+            self.evictions = 0
