@@ -11,7 +11,12 @@ engine is measured on three axes:
   a time with no dedupe, the way ``run_table2`` worked before the engine;
 * **warm persistent cache** — the Table 2 reduced sweep cold versus re-run
   against the shared on-disk bound store (``--cache-dir``), which must keep
-  bounds bit-identical while eliminating every SDP solve.
+  bounds bit-identical while eliminating every SDP solve;
+* **whole-outcome warm path** — the serving trace cold versus re-run against
+  the content-addressed :class:`~repro.engine.outcomes.OutcomeStore`, where a
+  warm submission must execute nothing at all (zero MPS walks, zero SDP
+  solves), stay bit-identical, and keep its stored dual certificates
+  re-verifiable (``--check --engine`` fails below a 50x warm speedup).
 
 ``scripts/run_bench.py --engine`` writes the result to ``BENCH_engine.json``
 at the repository root (``--warm`` refreshes just the warm-cache section;
@@ -42,7 +47,8 @@ for entry in (REPO_ROOT / "src", REPO_ROOT / "tests"):
 
 from repro.api import AnalysisSession  # noqa: E402
 from repro.config import AnalysisConfig, DEFAULT_BIT_FLIP_PROBABILITY  # noqa: E402
-from repro.engine.pool import execute_job  # noqa: E402
+from repro.engine.outcomes import OutcomeStore  # noqa: E402
+from repro.engine.pool import AnalysisEngine, execute_job  # noqa: E402
 from repro.engine.spec import AnalysisJob  # noqa: E402
 from repro.noise import NoiseModel  # noqa: E402
 from repro.programs.library import table2_benchmarks  # noqa: E402
@@ -132,6 +138,59 @@ def measure_warm_cache(jobs: list[AnalysisJob], *, workers: int = 1) -> dict:
         "bit_identical": [o.bound for o in cold] == [o.bound for o in warm],
         "sdp_solves_cold": sum(o.sdp_solves for o in cold),
         "sdp_solves_warm": sum(o.sdp_solves for o in warm),
+    }
+
+
+#: Warm traffic must be at least this much faster than cold (the whole point
+#: of the outcome store: a warm hit is one dict lookup, not an MPS walk plus
+#: a derivation replay).  ``--check --engine`` fails below it.
+OUTCOME_WARM_SPEEDUP_FLOOR = 50.0
+
+
+def measure_outcome_warm_path(jobs: list[AnalysisJob], *, duplicates: int = DUPLICATES_FACTOR) -> dict:
+    """Cold vs warm serving trace against the whole-outcome store.
+
+    The cold engine executes every unique analysis once and writes the full
+    :class:`~repro.engine.spec.JobResult` plus dual certificates to the
+    store; a **fresh** engine over the same file then replays the trace and
+    must answer every submission without a single execution (zero MPS walks,
+    zero SDP solves), bit-identical to the cold results, with every stored
+    certificate still re-verifiable on demand.
+    """
+    trace = reference_trace(jobs) if duplicates == DUPLICATES_FACTOR else jobs * duplicates
+    with tempfile.TemporaryDirectory(prefix="bench-engine-outcomes-") as tmp:
+        path = os.path.join(tmp, "outcomes.jsonl")
+        start = time.perf_counter()
+        cold = AnalysisEngine(workers=1, outcomes=path).run(trace)
+        cold_seconds = time.perf_counter() - start
+        assert cold.ok
+
+        # A fresh engine + store over the same file: the cross-process warm hit.
+        warm_engine = AnalysisEngine(workers=1, outcomes=path)
+        start = time.perf_counter()
+        warm = warm_engine.run(trace)
+        warm_seconds = time.perf_counter() - start
+        assert warm.ok
+
+        store = OutcomeStore(path)
+        certificates_reverified = all(
+            store.get(job.fingerprint(), verify=True) is not None for job in jobs
+        )
+        stats = warm_engine.stats()["outcomes"]
+    return {
+        "workers": 1,
+        "submissions": len(trace),
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup_warm_vs_cold": cold_seconds / warm_seconds,
+        "warm_jobs_per_minute": 60.0 * len(trace) / warm_seconds,
+        "executed_cold": cold.executed,
+        # Zero == the warm trace performed no MPS walk and no SDP solve.
+        "executed_warm": warm.executed,
+        "outcome_hits_warm": warm.outcome_hits,
+        "bit_identical": warm.results == cold.results,
+        "certificates_reverified": certificates_reverified,
+        "store_stats": stats,
     }
 
 
@@ -228,6 +287,7 @@ def collect_all() -> dict:
         "bounds_bit_identical_at_4_workers": four["bounds"][: len(jobs)]
         == sequential_unique_bounds,
         "warm_cache_table2_reduced": measure_warm_cache(jobs),
+        "outcome_store_warm_path": measure_outcome_warm_path(jobs),
     }
     return payload
 
@@ -276,6 +336,16 @@ def test_warm_cache_smoke():
     assert warm["bit_identical"]
     assert warm["sdp_solves_warm"] == 0
     assert warm["sdp_solves_cold"] > 0
+
+
+def test_outcome_warm_path_smoke():
+    """A warm outcome-store trace executes nothing and stays bit-identical."""
+    jobs = unique_jobs(benchmarks=SMOKE_BENCHMARKS[:1])
+    outcome = measure_outcome_warm_path(jobs, duplicates=2)
+    assert outcome["executed_warm"] == 0
+    assert outcome["outcome_hits_warm"] == 1
+    assert outcome["bit_identical"]
+    assert outcome["certificates_reverified"]
 
 
 if __name__ == "__main__":

@@ -10,7 +10,11 @@ Usage:
                                            # machine-calibrated engine check:
                                            # re-run the serving trace and exit
                                            # non-zero on a >2x regression vs
-                                           # the committed BENCH_engine.json
+                                           # the committed BENCH_engine.json,
+                                           # or if the whole-outcome warm path
+                                           # re-executes anything, diverges
+                                           # from cold, or drops below its
+                                           # 50x speedup floor
     python scripts/run_bench.py --warm     # warm-cache mode: pre-populate the
                                            # persistent bound cache via the
                                            # engine and report cold vs warm
@@ -140,6 +144,16 @@ def run_engine() -> int:
         f"warm {warm['warm_seconds']:.2f}s ({warm['speedup_warm_vs_cold']:.2f}x, "
         f"{warm['sdp_solves_warm']} warm solves)"
     )
+    outcome = payload["outcome_store_warm_path"]
+    print(
+        f"outcome store (serving trace): cold {outcome['cold_seconds']:.2f}s -> "
+        f"warm {outcome['warm_seconds']:.2f}s "
+        f"({outcome['speedup_warm_vs_cold']:.1f}x, "
+        f"{outcome['warm_jobs_per_minute']:.0f} warm jobs/min, "
+        f"{outcome['executed_warm']} warm executions, "
+        f"bit-identical: {outcome['bit_identical']}, "
+        f"certificates re-verified: {outcome['certificates_reverified']})"
+    )
     bench_engine.BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {bench_engine.BASELINE_PATH}")
     return 0
@@ -168,6 +182,36 @@ def run_engine_check() -> int:
         )
         return 1
     print(f"within budget: {current['seconds']:.2f}s vs calibrated budget {budget:.2f}s")
+
+    # Whole-outcome warm-path gate (live, machine-independent — a ratio):
+    # warm traffic must execute nothing, stay bit-identical, and clear the
+    # 50x speedup floor.  Measured on the smoke subset to keep CI cheap.
+    outcome = bench_engine.measure_outcome_warm_path(
+        bench_engine.unique_jobs(benchmarks=bench_engine.SMOKE_BENCHMARKS)
+    )
+    print(
+        f"outcome store warm path: {outcome['speedup_warm_vs_cold']:.1f}x "
+        f"(floor {bench_engine.OUTCOME_WARM_SPEEDUP_FLOOR:.0f}x), "
+        f"{outcome['executed_warm']} warm executions, "
+        f"bit-identical: {outcome['bit_identical']}"
+    )
+    if outcome["executed_warm"] != 0:
+        print("REGRESSION: warm outcome-store traffic re-executed analyses", file=sys.stderr)
+        return 1
+    if not outcome["bit_identical"]:
+        print("REGRESSION: warm outcome-store results diverge from cold", file=sys.stderr)
+        return 1
+    if not outcome["certificates_reverified"]:
+        print("REGRESSION: stored dual certificates no longer verify", file=sys.stderr)
+        return 1
+    if outcome["speedup_warm_vs_cold"] < bench_engine.OUTCOME_WARM_SPEEDUP_FLOOR:
+        print(
+            f"REGRESSION: warm outcome path only "
+            f"{outcome['speedup_warm_vs_cold']:.1f}x faster than cold "
+            f"(floor {bench_engine.OUTCOME_WARM_SPEEDUP_FLOOR:.0f}x)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

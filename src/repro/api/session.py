@@ -71,6 +71,8 @@ class AnalysisOutcome:
             pipeline).
         mps_width: bond dimension used.
         noise_model: name of the noise model.
+        tape_steps_reused: top-level program steps the scheduler answered
+            from the replay-tape prefix memo instead of re-walking.
         error: failure message when ``status != "ok"``.
         derivation: the derivation tree (only from
             ``AnalysisSession.analyze(..., derivation=True)`` on a local
@@ -92,6 +94,7 @@ class AnalysisOutcome:
     mps_walks: int
     mps_width: int
     noise_model: str
+    tape_steps_reused: int = 0
     error: str | None = None
     derivation: Derivation | None = dataclasses.field(
         default=None, compare=False, repr=False
@@ -143,6 +146,7 @@ class AnalysisOutcome:
             mps_walks=result.mps_walks,
             mps_width=result.mps_width,
             noise_model=result.noise_model,
+            tape_steps_reused=result.tape_steps_reused,
             error=result.error,
             derivation=derivation,
         )
@@ -198,6 +202,10 @@ class AnalysisSession:
             session (per-call ``config=`` overrides it).
         resume: answer already-completed fingerprints from the store instead
             of re-executing them.
+        outcomes: whole-outcome store path or
+            :class:`~repro.engine.outcomes.OutcomeStore`; fingerprints it
+            holds answer from one lookup (no MPS walk, no SDP work) and
+            executed successes are written back with their dual certificates.
         remote: base URL of a running service; mutually exclusive with the
             local engine knobs.
         client: a pre-built :class:`Client` (overrides ``remote``).
@@ -211,6 +219,7 @@ class AnalysisSession:
         cache_dir: str | None = None,
         config: AnalysisConfig | None = None,
         resume: bool = False,
+        outcomes=None,
         remote: str | None = None,
         client: Client | None = None,
     ):
@@ -219,16 +228,23 @@ class AnalysisSession:
         self._closed = False
         self._service: AnalysisService | None = None
         if remote is not None or client is not None:
-            if workers != 1 or store is not None or cache_dir is not None:
+            if (
+                workers != 1
+                or store is not None
+                or cache_dir is not None
+                or outcomes is not None
+            ):
                 raise EngineError(
-                    "remote sessions delegate workers/store/cache_dir to the "
-                    "server; configure those on gleipnir-serve instead"
+                    "remote sessions delegate workers/store/cache_dir/outcomes "
+                    "to the server; configure those on gleipnir-serve instead"
                 )
             self._client: Client | None = client or Client(remote)
             self._engine: AnalysisEngine | None = None
         else:
             self._client = None
-            self._engine = AnalysisEngine(workers=workers, store=store, cache_dir=cache_dir)
+            self._engine = AnalysisEngine(
+                workers=workers, store=store, cache_dir=cache_dir, outcomes=outcomes
+            )
 
     # -- lifecycle ---------------------------------------------------------
     @property
@@ -581,6 +597,12 @@ def add_session_arguments(parser: argparse.ArgumentParser) -> None:
         help="shared on-disk bound cache for the engine workers",
     )
     group.add_argument(
+        "--outcomes",
+        type=str,
+        default=None,
+        help="whole-outcome store (JSONL); warm re-submissions answer from one lookup",
+    )
+    group.add_argument(
         "--remote",
         type=str,
         default=None,
@@ -604,6 +626,7 @@ def session_from_args(
                 ("--workers", getattr(args, "workers", 1) != 1),
                 ("--store", getattr(args, "store", None) is not None),
                 ("--cache-dir", getattr(args, "cache_dir", None) is not None),
+                ("--outcomes", getattr(args, "outcomes", None) is not None),
                 ("--resume", bool(getattr(args, "resume", False))),
             )
             if is_set
@@ -618,6 +641,7 @@ def session_from_args(
         workers=getattr(args, "workers", 1),
         store=getattr(args, "store", None),
         cache_dir=getattr(args, "cache_dir", None),
+        outcomes=getattr(args, "outcomes", None),
         resume=getattr(args, "resume", False),
         config=config,
     )

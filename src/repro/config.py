@@ -132,6 +132,13 @@ class AnalysisConfig:
         scheduler_workers: worker threads for the scheduler's solve phase
             (1 = solve the whole batch in one vectorised run; >1 additionally
             splits the batch across a thread pool).
+        tape_memo: let the scheduler reuse memoised replay-tape prefixes —
+            near-duplicate programs (shared circuit prefixes, parameter
+            sweeps) resume the recorded walk from the last shared step
+            instead of re-walking from scratch.  An execution knob: not part
+            of job fingerprints, and memoised analyses are bit-identical to
+            cold ones (the MPS snapshot is an exact copy, so every downstream
+            operation sees the same floats).
     """
 
     mps_width: int = DEFAULT_MPS_WIDTH
@@ -141,6 +148,7 @@ class AnalysisConfig:
     noise_after_gate: bool = True
     scheduler: bool = True
     scheduler_workers: int = 1
+    tape_memo: bool = True
 
     def validate(self) -> None:
         if self.mps_width < 1:

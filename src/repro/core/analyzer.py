@@ -182,6 +182,9 @@ class AnalysisResult:
             for this analysis.  The single-pass pipeline keeps this at 1:
             either the scheduler's pre-pass (whose ReplayTape the derivation
             replays) or the live sequential traversal, never both.
+        tape_steps_reused: top-level program steps the pre-pass answered
+            from the replay-tape prefix memo instead of re-walking (0 with
+            the memo disabled or on a cold walk).
     """
 
     error_bound: float
@@ -198,6 +201,7 @@ class AnalysisResult:
     sdp_dominance_hits: int = 0
     scheduled_solves: int = 0
     mps_walks: int = 1
+    tape_steps_reused: int = 0
 
     def gate_contributions(self) -> list[GateContribution]:
         if self.derivation is None:
@@ -268,6 +272,7 @@ class GleipnirAnalyzer:
         dominance_before = self._cache.dominance_hits
 
         scheduled_solves = 0
+        tape_steps_reused = 0
         tape = None
         if self.config.scheduler and self.config.sdp.cache:
             # Program-level pre-pass: collect every quantised solve class,
@@ -282,6 +287,7 @@ class GleipnirAnalyzer:
             )
             report = scheduler.prefill(normalised, bits)
             scheduled_solves = report.num_solved
+            tape_steps_reused = report.tape_steps_reused
             tape = report.tape
 
         if tape is not None:
@@ -321,6 +327,7 @@ class GleipnirAnalyzer:
             sdp_dominance_hits=self._cache.dominance_hits - dominance_before,
             scheduled_solves=scheduled_solves,
             mps_walks=1,
+            tape_steps_reused=tape_steps_reused,
         )
 
     @property

@@ -35,6 +35,8 @@ sound) bound at the cost of an extra batched solve.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import threading
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -52,7 +54,77 @@ from ..sdp.diamond import (
 from .analyzer import vacuous_branch_approximator
 from .derivation import ReplayTape, TapeGate, TapeMeasure, TapeSkip
 
-__all__ = ["SolveClass", "SchedulerReport", "BoundScheduler"]
+__all__ = [
+    "SolveClass",
+    "SchedulerReport",
+    "BoundScheduler",
+    "clear_tape_memo",
+    "tape_memo_stats",
+]
+
+
+# ---------------------------------------------------------------------------
+# Replay-tape prefix memoisation
+# ---------------------------------------------------------------------------
+#
+# Near-duplicate programs — parameter sweeps, circuits extended gate by gate —
+# share a prefix of top-level steps, and the pre-pass walk of that prefix is
+# deterministic given the analysis environment (noise model, semantic config,
+# input bits).  The memo keys each measurement-free top-level step by the
+# running hash of (environment, step₀, …, stepᵢ) and stores the step's tape
+# segment, newly discovered solve classes, instance count, and an exact MPS
+# snapshot.  A later program whose chain matches replays the recorded
+# segments and resumes the walk from a *copy* of the snapshot, so every
+# downstream float is identical to a cold walk's.  Steps containing
+# measurements are never memoised: their traversal forks on branch
+# probabilities, so a snapshot would not capture the walk state.
+
+#: Total memoised steps kept (oldest evicted beyond this).
+TAPE_MEMO_MAX_STEPS = 1024
+
+#: Steps that retain their MPS snapshot (older snapshots are stripped first;
+#: a stripped step can still be replayed but not resumed from).
+TAPE_MEMO_MAX_SNAPSHOTS = 64
+
+
+@dataclasses.dataclass
+class _MemoStep:
+    """One memoised top-level step of a pre-pass walk."""
+
+    records: tuple
+    classes: tuple
+    instances: int
+    snapshot: MPSApproximator | None
+
+
+_TAPE_MEMO: dict[str, _MemoStep] = {}
+_TAPE_MEMO_LOCK = threading.Lock()
+_TAPE_MEMO_STATS = {"hits": 0, "misses": 0, "steps_reused": 0}
+
+
+def clear_tape_memo() -> None:
+    """Drop every memoised tape prefix and reset the counters."""
+    with _TAPE_MEMO_LOCK:
+        _TAPE_MEMO.clear()
+        for key in _TAPE_MEMO_STATS:
+            _TAPE_MEMO_STATS[key] = 0
+
+
+def tape_memo_stats() -> dict:
+    """Process-wide prefix-memo counters (hits/misses/steps_reused/entries)."""
+    with _TAPE_MEMO_LOCK:
+        return {**_TAPE_MEMO_STATS, "entries": len(_TAPE_MEMO)}
+
+
+def _contains_measure(program: Program) -> bool:
+    pending = [program]
+    while pending:
+        node = pending.pop()
+        if isinstance(node, IfMeasure):
+            return True
+        if isinstance(node, Seq):
+            pending.extend(node.parts)
+    return False
 
 
 @dataclasses.dataclass(frozen=True)
@@ -81,6 +153,7 @@ class SchedulerReport:
     num_solved: int = 0
     num_prefilled: int = 0
     tape: ReplayTape | None = None
+    tape_steps_reused: int = 0
 
 
 class BoundScheduler:
@@ -110,7 +183,13 @@ class BoundScheduler:
         self._classes.clear()
         self._instances = 0
         tape = ReplayTape()
-        self._collect(program, approximator, tape)
+        if getattr(self.config, "tape_memo", True):
+            steps_reused = self._collect_memoised(
+                program, initial_bits, approximator, tape
+            )
+        else:
+            self._collect(program, approximator, tape)
+            steps_reused = 0
 
         pending = [
             solve_class
@@ -136,6 +215,7 @@ class BoundScheduler:
             num_solved=len(pending),
             num_prefilled=len(self._classes) - len(pending),
             tape=tape,
+            tape_steps_reused=steps_reused,
         )
         if not pending:
             return report
@@ -172,6 +252,134 @@ class BoundScheduler:
             self.cache.insert(
                 solve_class.key, bound, fingerprint=solve_class.fingerprint
             )
+
+    # -- prefix memoisation ---------------------------------------------------
+    def _memo_env_key(self, initial_bits: list[int]) -> str | None:
+        """Hash of everything besides the program that shapes the walk.
+
+        Two walks agree step for step only when the noise model, the
+        bound-relevant configuration (width, quantisation, SDP settings), the
+        input state, and whether persistent-store fingerprints are computed
+        all agree.  Models that cannot serialize (factory-backed noise) return
+        None, which disables memoisation for the walk rather than failing it.
+        """
+        # Imported lazily: repro.engine.spec must stay importable without core.
+        from ..engine.spec import _semantic_config_dict, canonical_json
+
+        try:
+            payload = {
+                "noise_model": self.noise_model.to_json_dict(),
+                "config": _semantic_config_dict(self.config),
+                "initial_bits": list(initial_bits),
+                "persistent": self.cache.store_path is not None,
+            }
+            return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+        except Exception:
+            return None
+
+    def _collect_memoised(
+        self,
+        program: Program,
+        initial_bits: list[int],
+        approximator: MPSApproximator,
+        tape: ReplayTape,
+    ) -> int:
+        """Walk ``program`` reusing memoised top-level step prefixes.
+
+        Returns the number of steps answered from the memo.  The memoisable
+        prefix is the run of top-level ``Seq`` parts before the first part
+        containing a measurement; the remainder always walks fresh.
+        """
+        env = self._memo_env_key(initial_bits)
+        if env is None:
+            self._collect(program, approximator, tape)
+            return 0
+        from ..circuits.serialize import program_to_json_dict
+        from ..engine.spec import canonical_json
+
+        parts = list(program.parts) if isinstance(program, Seq) else [program]
+        prefix_len = 0
+        for part in parts:
+            if _contains_measure(part):
+                break
+            prefix_len += 1
+        if prefix_len == 0:
+            self._collect(program, approximator, tape)
+            return 0
+
+        # chains[i] addresses the walk state after steps 0..i under env.
+        chains = []
+        chain = env
+        for part in parts[:prefix_len]:
+            step = canonical_json(program_to_json_dict(part))
+            chain = hashlib.sha256((chain + step).encode()).hexdigest()
+            chains.append(chain)
+
+        # Longest stored run from step 0, resumable at its last snapshot.
+        reuse_nodes: list[_MemoStep] = []
+        resume_index = -1
+        snapshot = None
+        with _TAPE_MEMO_LOCK:
+            for chain in chains:
+                node = _TAPE_MEMO.get(chain)
+                if node is None:
+                    break
+                reuse_nodes.append(node)
+            for index in range(len(reuse_nodes) - 1, -1, -1):
+                if reuse_nodes[index].snapshot is not None:
+                    resume_index = index
+                    snapshot = reuse_nodes[index].snapshot.copy()
+                    break
+            if resume_index >= 0:
+                _TAPE_MEMO_STATS["hits"] += 1
+                _TAPE_MEMO_STATS["steps_reused"] += resume_index + 1
+            else:
+                _TAPE_MEMO_STATS["misses"] += 1
+
+        steps_reused = 0
+        if resume_index >= 0:
+            for node in reuse_nodes[: resume_index + 1]:
+                tape.extend(node.records)
+                self._instances += node.instances
+                for solve_class in node.classes:
+                    self._classes.setdefault(solve_class.key, solve_class)
+            approximator = snapshot
+            steps_reused = resume_index + 1
+
+        # Fresh walk of the remaining memoisable steps, recording each one.
+        for index in range(steps_reused, prefix_len):
+            mark = tape.mark()
+            instances_before = self._instances
+            classes_before = len(self._classes)
+            self._collect(parts[index], approximator, tape)
+            node = _MemoStep(
+                records=tape.records_since(mark),
+                classes=tuple(list(self._classes.values())[classes_before:]),
+                instances=self._instances - instances_before,
+                snapshot=approximator.copy(),
+            )
+            self._memo_store(chains[index], node)
+
+        for part in parts[prefix_len:]:
+            self._collect(part, approximator, tape)
+        return steps_reused
+
+    @staticmethod
+    def _memo_store(chain: str, node: _MemoStep) -> None:
+        with _TAPE_MEMO_LOCK:
+            _TAPE_MEMO.pop(chain, None)  # re-insert at the recency tail
+            _TAPE_MEMO[chain] = node
+            while len(_TAPE_MEMO) > TAPE_MEMO_MAX_STEPS:
+                _TAPE_MEMO.pop(next(iter(_TAPE_MEMO)))
+            snapshots = [
+                key
+                for key, entry in _TAPE_MEMO.items()
+                if entry.snapshot is not None
+            ]
+            # Strip the oldest snapshots beyond the cap; the stripped steps
+            # remain replayable, they just cannot seed a resume any more.
+            for key in snapshots[: max(0, len(snapshots) - TAPE_MEMO_MAX_SNAPSHOTS)]:
+                _TAPE_MEMO[key].snapshot = None
 
     # -- collection traversal (mirrors GleipnirAnalyzer._analyze_node) -------
     def _collect(

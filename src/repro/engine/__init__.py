@@ -13,12 +13,16 @@ into first-class, addressable requests:
   shared on-disk bound cache;
 * :class:`ResultStore` (``store``) — a JSONL store keyed by job fingerprint
   that makes sweeps resumable;
+* :class:`OutcomeStore` (``outcomes``) — a content-addressed store of whole
+  outcomes (result + dual certificates), so warm traffic answers from one
+  lookup and stays re-verifiable on demand;
 * :class:`AnalysisService` (``service``) — a stdlib-HTTP front-end
   (``gleipnir-serve``) that coalesces submissions into engine batches.
 """
 
 from .spec import AnalysisJob, JobResult
 from .store import ResultStore
+from .outcomes import OutcomeCertificate, OutcomeStore
 from .pool import AnalysisEngine, BatchReport, execute_job, job_family
 from .service import AnalysisService
 
@@ -26,6 +30,8 @@ __all__ = [
     "AnalysisJob",
     "JobResult",
     "ResultStore",
+    "OutcomeStore",
+    "OutcomeCertificate",
     "AnalysisEngine",
     "BatchReport",
     "execute_job",

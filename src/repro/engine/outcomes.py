@@ -1,0 +1,423 @@
+"""A content-addressed store of whole analysis outcomes, re-verifiable on demand.
+
+The warm path of the serving workload: a repeat submission should cost one
+store lookup, not an MPS walk plus a derivation replay.  The
+:class:`OutcomeStore` maps the PR-2 job fingerprint to the full serialized
+:class:`~repro.engine.spec.JobResult` **plus the dual certificates** that
+established the job's per-gate bounds, so a warm answer is not a blind
+memo: ``get(fingerprint, verify=True)`` re-checks every stored certificate's
+feasibility against its stored Choi matrix (the cheap half of the original
+work — never the SDP solve) and refuses to answer from a record whose
+certificates no longer verify.
+
+On-disk format: JSONL with the same healing discipline as
+:class:`~repro.engine.store.ResultStore` — one record per line, appends are
+single ``write`` calls, a kill leaves at worst one truncated trailing line
+which the loader skips (and the next append heals with a leading newline),
+later lines win.  Certificates ride along as base64-encoded ``complex128``
+arrays; they are decoded lazily, so the hot ``get()`` path never touches
+base64.  The in-memory map is size-capped LRU (``max_entries``); entries
+**pinned** by an in-flight engine batch are never evicted, and the log is
+compacted (atomic rewrite) once appended lines outnumber live entries 2:1.
+"""
+
+from __future__ import annotations
+
+import base64
+import contextlib
+import dataclasses
+import json
+import os
+import threading
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import EngineError
+from ..sdp.certificates import DualCertificate, verify_certificate
+from .spec import JobResult, canonical_json
+
+__all__ = ["OutcomeStore", "OutcomeCertificate"]
+
+#: Schema version of one outcome record; bump on incompatible format changes.
+OUTCOME_SCHEMA_VERSION = 1
+
+#: Tolerance of the on-demand certificate re-check.  Matches the derivation
+#: checker's floor (max(tolerance, 1e-6) in Derivation._check_gate): the
+#: stored certificate was verified at solve time, so the re-check only needs
+#: to catch corruption/tampering, not re-litigate solver precision.
+VERIFY_TOLERANCE = 1e-6
+
+
+def _encode_array(array: np.ndarray) -> dict:
+    """A complex matrix as a JSON-safe {shape, data} payload."""
+    contiguous = np.ascontiguousarray(np.asarray(array, dtype=np.complex128))
+    return {
+        "shape": list(contiguous.shape),
+        "data": base64.b64encode(contiguous.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_array(payload: dict) -> np.ndarray:
+    """Inverse of :func:`_encode_array`, with length validation."""
+    if not isinstance(payload, dict):
+        raise EngineError(f"array payload must be a dict, got {type(payload).__name__}")
+    try:
+        shape = tuple(int(value) for value in payload["shape"])
+        raw = base64.b64decode(payload["data"], validate=True)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise EngineError(f"malformed array payload: {exc}") from exc
+    expected = int(np.prod(shape)) * np.dtype(np.complex128).itemsize
+    if len(raw) != expected:
+        raise EngineError(
+            f"array payload carries {len(raw)} bytes for shape {shape} "
+            f"(expected {expected})"
+        )
+    return np.frombuffer(raw, dtype=np.complex128).reshape(shape).copy()
+
+
+@dataclasses.dataclass(frozen=True)
+class OutcomeCertificate:
+    """One stored dual certificate plus the Choi matrix it certifies.
+
+    The serializable twin of :class:`~repro.sdp.certificates.DualCertificate`:
+    carrying the Choi matrix alongside makes the record self-contained, so
+    :meth:`verify` needs nothing but the stored bytes — feasibility
+    (``z ⪰ 0``, ``z ⪰ J``, ``y ≥ 0``) and the value check are recomputed
+    from scratch, the SDP solve never is.
+    """
+
+    value: float
+    z: np.ndarray
+    y: float
+    constraint_operator: np.ndarray | None
+    constraint_bound: float
+    choi: np.ndarray
+
+    @classmethod
+    def from_bound(cls, bound) -> "OutcomeCertificate":
+        """Snapshot a :class:`~repro.sdp.diamond.DiamondNormBound`'s certificate."""
+        certificate = bound.certificate
+        return cls(
+            value=float(certificate.value),
+            z=np.asarray(certificate.z, dtype=np.complex128),
+            y=float(certificate.y),
+            constraint_operator=(
+                np.asarray(certificate.constraint_operator, dtype=np.complex128)
+                if certificate.constraint_operator is not None
+                else None
+            ),
+            constraint_bound=float(certificate.constraint_bound),
+            choi=np.asarray(bound.choi, dtype=np.complex128),
+        )
+
+    def verify(self, *, tolerance: float = VERIFY_TOLERANCE) -> bool:
+        """Independently re-check feasibility and value against the stored Choi."""
+        certificate = DualCertificate(
+            value=self.value,
+            z=self.z,
+            y=self.y,
+            constraint_operator=self.constraint_operator,
+            constraint_bound=self.constraint_bound,
+        )
+        return verify_certificate(certificate, self.choi, tolerance=tolerance)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "value": self.value,
+            "y": self.y,
+            "constraint_bound": self.constraint_bound,
+            "z": _encode_array(self.z),
+            "constraint_operator": (
+                _encode_array(self.constraint_operator)
+                if self.constraint_operator is not None
+                else None
+            ),
+            "choi": _encode_array(self.choi),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "OutcomeCertificate":
+        if not isinstance(payload, dict):
+            raise EngineError(
+                f"certificate payload must be a dict, got {type(payload).__name__}"
+            )
+        try:
+            operator = payload.get("constraint_operator")
+            return cls(
+                value=float(payload["value"]),
+                z=_decode_array(payload["z"]),
+                y=float(payload["y"]),
+                constraint_operator=(
+                    _decode_array(operator) if operator is not None else None
+                ),
+                constraint_bound=float(payload["constraint_bound"]),
+                choi=_decode_array(payload["choi"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise EngineError(f"malformed certificate payload: {exc}") from exc
+
+
+class OutcomeStore:
+    """JSONL-backed, LRU-capped map from job fingerprint to its whole outcome.
+
+    Args:
+        path: the JSONL file (created on first put; parent directories too).
+        max_entries: in-memory/live-entry cap; the least-recently-used
+            unpinned entries are evicted beyond it (None = unbounded).
+    """
+
+    def __init__(self, path: str, *, max_entries: int | None = None):
+        self.path = str(path)
+        if max_entries is not None and int(max_entries) < 1:
+            raise ValueError("max_entries must be at least 1 (or None)")
+        self.max_entries = int(max_entries) if max_entries is not None else None
+        self._lock = threading.Lock()
+        # fingerprint -> {"result": JobResult, "certificates": [raw dict, ...]}
+        # Insertion order doubles as recency order (hits re-insert at the end).
+        self._entries: dict[str, dict] = {}
+        self._pins: dict[str, int] = {}
+        self._skipped_lines = 0
+        self._file_lines = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._verification_failures = 0
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._load()
+
+    # -- load / heal ---------------------------------------------------------
+    def _load(self) -> None:
+        self._needs_newline = False
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            content = handle.read()
+        # A kill can leave the file without a trailing newline; the next
+        # append must not concatenate onto the truncated record.
+        self._needs_newline = bool(content) and not content.endswith("\n")
+        for line in content.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            self._file_lines += 1
+            try:
+                record = json.loads(line)
+                entry = self._entry_from_record(record)
+            except (json.JSONDecodeError, EngineError):
+                # Truncated trailing line after a kill, or foreign junk:
+                # skip rather than fail the whole store.
+                self._skipped_lines += 1
+                continue
+            fingerprint = entry["result"].fingerprint
+            self._entries.pop(fingerprint, None)  # later lines win, LRU-fresh
+            self._entries[fingerprint] = entry
+        self._evict_over_cap()
+
+    @staticmethod
+    def _entry_from_record(record: dict) -> dict:
+        if not isinstance(record, dict):
+            raise EngineError("outcome record must be a dict")
+        if record.get("kind") != "analysis_outcome":
+            raise EngineError(f"not an outcome record: kind={record.get('kind')!r}")
+        if record.get("version") != OUTCOME_SCHEMA_VERSION:
+            raise EngineError(f"unsupported outcome schema {record.get('version')!r}")
+        result = JobResult.from_json_dict(record.get("result") or {})
+        if not result.ok or not result.fingerprint:
+            raise EngineError("outcome records must carry a successful result")
+        certificates = record.get("certificates") or []
+        if not isinstance(certificates, list):
+            raise EngineError("certificates must be a list")
+        return {"result": result, "certificates": certificates}
+
+    # -- queries -------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    @property
+    def skipped_lines(self) -> int:
+        """Lines the loader could not parse (diagnostics only)."""
+        return self._skipped_lines
+
+    def get(self, fingerprint: str, *, verify: bool = False) -> JobResult | None:
+        """The stored outcome for ``fingerprint``, or None.
+
+        With ``verify=True`` every stored certificate is re-checked against
+        its stored Choi matrix first; a record that fails re-verification is
+        dropped from the store (counted in ``verification_failures``) and the
+        lookup reports a miss — the caller recomputes, it never gets a
+        tampered answer.
+        """
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self._misses += 1
+                return None
+            if not verify:
+                self._touch(fingerprint, entry)
+                self._hits += 1
+                return entry["result"]
+            raw_certificates = list(entry["certificates"])
+        # Decode + verify outside the lock: O(certificates) eigenvalue work.
+        try:
+            verified = all(
+                OutcomeCertificate.from_json_dict(raw).verify()
+                for raw in raw_certificates
+            )
+        except EngineError:
+            verified = False
+        with self._lock:
+            current = self._entries.get(fingerprint)
+            if current is None:
+                self._misses += 1
+                return None
+            if not verified:
+                del self._entries[fingerprint]
+                self._verification_failures += 1
+                self._misses += 1
+                return None
+            self._touch(fingerprint, current)
+            self._hits += 1
+            return current["result"]
+
+    def certificates(self, fingerprint: str) -> list[OutcomeCertificate]:
+        """The decoded dual certificates stored with an outcome."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            raw = list(entry["certificates"]) if entry is not None else []
+        return [OutcomeCertificate.from_json_dict(payload) for payload in raw]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "path": self.path,
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "verification_failures": self._verification_failures,
+                "skipped_lines": self._skipped_lines,
+            }
+
+    # -- pinning -------------------------------------------------------------
+    @contextlib.contextmanager
+    def pinned(self, fingerprints: Iterable[str]) -> Iterator[None]:
+        """Protect ``fingerprints`` from eviction while a batch is in flight.
+
+        The engine pins every unique fingerprint of a running batch, so a
+        concurrent batch's inserts can never evict an entry between the
+        moment one batch decided it was a hit and the moment it reads it.
+        """
+        pins = list(fingerprints)
+        with self._lock:
+            for fingerprint in pins:
+                self._pins[fingerprint] = self._pins.get(fingerprint, 0) + 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                for fingerprint in pins:
+                    remaining = self._pins.get(fingerprint, 0) - 1
+                    if remaining > 0:
+                        self._pins[fingerprint] = remaining
+                    else:
+                        self._pins.pop(fingerprint, None)
+                # Deferred evictions happen now that the pins are gone.
+                self._evict_over_cap()
+
+    # -- mutation ------------------------------------------------------------
+    def put(self, result: JobResult, certificates: Iterable = ()) -> None:
+        """Record one successful outcome with its dual certificates.
+
+        Failed results are not stored (a timeout under one budget must not
+        answer for a healthy re-run); certificates may be
+        :class:`OutcomeCertificate` values or their wire dicts (as returned
+        by pool workers).
+        """
+        if not result.ok:
+            return
+        payloads = [
+            cert.to_json_dict() if isinstance(cert, OutcomeCertificate) else dict(cert)
+            for cert in certificates
+        ]
+        record = {
+            "version": OUTCOME_SCHEMA_VERSION,
+            "kind": "analysis_outcome",
+            "result": result.to_json_dict(),
+            "certificates": payloads,
+        }
+        line = canonical_json(record)
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                payload = line + "\n"
+                if self._needs_newline:
+                    payload = "\n" + payload
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+                self._needs_newline = False
+            self._file_lines += 1
+            self._entries.pop(result.fingerprint, None)
+            self._entries[result.fingerprint] = {
+                "result": result,
+                "certificates": payloads,
+            }
+            self._evict_over_cap()
+            self._maybe_compact()
+
+    def _touch(self, fingerprint: str, entry: dict) -> None:
+        """Refresh recency on a hit.  Callers hold ``self._lock``."""
+        if self.max_entries is None:
+            return
+        self._entries.pop(fingerprint, None)
+        self._entries[fingerprint] = entry
+
+    def _evict_over_cap(self) -> None:
+        """Drop LRU unpinned entries beyond ``max_entries``.  Callers hold the lock.
+
+        Pinned fingerprints (in-flight batches) are skipped, so the store may
+        transiently exceed the cap; the overshoot is reclaimed when the pins
+        are released.
+        """
+        if self.max_entries is None or len(self._entries) <= self.max_entries:
+            return
+        for fingerprint in list(self._entries):
+            if len(self._entries) <= self.max_entries:
+                break
+            if fingerprint in self._pins:
+                continue
+            del self._entries[fingerprint]
+            self._evictions += 1
+
+    def _maybe_compact(self) -> None:
+        """Rewrite the log when dead lines outnumber live entries.
+
+        Callers hold ``self._lock``.  Atomic: write a temp file in the same
+        directory, fsync, then ``os.replace`` — a kill mid-compaction leaves
+        either the old log or the new one, never a mix.
+        """
+        live = len(self._entries)
+        if self._file_lines <= max(2 * live, live + 64):
+            return
+        tmp_path = self.path + ".compact"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for entry in self._entries.values():
+                record = {
+                    "version": OUTCOME_SCHEMA_VERSION,
+                    "kind": "analysis_outcome",
+                    "result": entry["result"].to_json_dict(),
+                    "certificates": entry["certificates"],
+                }
+                handle.write(canonical_json(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+        self._file_lines = live
+        self._needs_newline = False

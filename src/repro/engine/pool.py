@@ -6,13 +6,20 @@ values into :class:`~repro.engine.spec.JobResult` records:
 * **dedupe** — identical jobs (same fingerprint) are executed once and share
   one result, so a serving workload with repeated submissions pays for each
   unique analysis once;
+* **whole-outcome cache** — with an :class:`~repro.engine.outcomes.OutcomeStore`
+  attached, a fingerprint whose full outcome is already stored skips
+  :func:`execute_job` entirely — no MPS walk, no derivation replay, no SDP
+  cache consultation — and executed jobs write their result *plus the dual
+  certificates behind it* back to the store;
 * **resume** — with a :class:`~repro.engine.store.ResultStore` attached,
   fingerprints that already completed successfully are answered from the
   store and only the missing jobs run;
 * **sharding** — the pending jobs are fanned out over a
   :class:`concurrent.futures.ProcessPoolExecutor`; jobs travel as canonical
   JSON, so the worker exercises exactly the serialization path remote
-  submissions use;
+  submissions use.  The pool size adapts to the machine: ``workers`` is
+  clamped to ``os.cpu_count()`` by default, because oversubscribing a small
+  box costs more in process churn than the parallelism returns;
 * **shared bound cache** — when ``cache_dir`` is set, every worker points its
   :class:`~repro.sdp.diamond.GateBoundCache` at the same on-disk store
   (``SDPConfig.persistent_cache_path``), so bounds certified by one worker
@@ -39,8 +46,9 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
 from ..circuits.program import GateOp, IfMeasure, Program, Seq
 from ..config import AnalysisConfig
-from ..core.analyzer import analyze_program
+from ..core.analyzer import GleipnirAnalyzer
 from ..errors import ResourceLimitExceeded
+from .outcomes import OutcomeCertificate, OutcomeStore
 from .spec import AnalysisJob, JobResult
 from .store import ResultStore
 
@@ -48,6 +56,7 @@ __all__ = [
     "AnalysisEngine",
     "BatchReport",
     "execute_job",
+    "execute_job_record",
     "job_family",
     "job_result_from_analysis",
 ]
@@ -193,17 +202,42 @@ def job_result_from_analysis(fingerprint: str, name: str, analysis) -> JobResult
         mps_walks=analysis.mps_walks,
         mps_width=analysis.mps_width,
         noise_model=analysis.noise_model,
+        tape_steps_reused=getattr(analysis, "tape_steps_reused", 0),
     )
 
 
-def execute_job(
-    job: AnalysisJob, *, cache_dir: str | None = None, fingerprint: str | None = None
-) -> JobResult:
-    """Run one job to a :class:`JobResult`, capturing failures as statuses.
+def _harvest_certificates(analyzer: GleipnirAnalyzer) -> list[OutcomeCertificate]:
+    """The dual certificates behind a finished job's per-gate bounds.
+
+    Only solver-certified entries qualify: ``noiseless``/``exact-zero``
+    bounds have no feasibility problem to re-check, and persistent-cache
+    loads without a retained Choi matrix cannot be re-verified standalone.
+    """
+    certificates = []
+    for bound in analyzer.cache.bounds_snapshot():
+        if bound.choi is None or bound.certificate is None:
+            continue
+        if bound.method in ("noiseless", "exact-zero"):
+            continue
+        certificates.append(OutcomeCertificate.from_bound(bound))
+    return certificates
+
+
+def execute_job_record(
+    job: AnalysisJob,
+    *,
+    cache_dir: str | None = None,
+    fingerprint: str | None = None,
+    collect_certificates: bool = False,
+) -> tuple[JobResult, list[OutcomeCertificate]]:
+    """Run one job to a :class:`JobResult` plus its dual certificates.
 
     ``fingerprint`` lets callers that already addressed the job (the engine
     computes it once per batch) skip the full canonical re-serialization a
-    fresh :meth:`AnalysisJob.fingerprint` call would pay.
+    fresh :meth:`AnalysisJob.fingerprint` call would pay.  With
+    ``collect_certificates=True`` the per-gate dual certificates are
+    harvested from the job's bound cache so the engine can store them
+    alongside the outcome; failures always return an empty certificate list.
     """
     if fingerprint is None:
         fingerprint = job.fingerprint()
@@ -211,37 +245,65 @@ def execute_job(
     start = time.perf_counter()
     try:
         with _wall_clock_budget(config.guard.max_seconds):
-            analysis = analyze_program(
+            analyzer = GleipnirAnalyzer(job.noise_model, config=config)
+            analysis = analyzer.analyze(
                 job.program,
-                job.noise_model,
-                config=config,
                 initial_bits=job.initial_bits,
                 num_qubits=job.num_qubits,
                 program_name=job.name,
             )
     except ResourceLimitExceeded as exc:
-        return JobResult(
-            fingerprint=fingerprint,
-            name=job.name,
-            status="timeout",
-            elapsed_seconds=time.perf_counter() - start,
-            error=str(exc),
+        return (
+            JobResult(
+                fingerprint=fingerprint,
+                name=job.name,
+                status="timeout",
+                elapsed_seconds=time.perf_counter() - start,
+                error=str(exc),
+            ),
+            [],
         )
     except Exception as exc:
-        return JobResult(
-            fingerprint=fingerprint,
-            name=job.name,
-            status="error",
-            elapsed_seconds=time.perf_counter() - start,
-            error=f"{type(exc).__name__}: {exc}",
+        return (
+            JobResult(
+                fingerprint=fingerprint,
+                name=job.name,
+                status="error",
+                elapsed_seconds=time.perf_counter() - start,
+                error=f"{type(exc).__name__}: {exc}",
+            ),
+            [],
         )
-    return job_result_from_analysis(fingerprint, job.name, analysis)
+    result = job_result_from_analysis(fingerprint, job.name, analysis)
+    certificates = _harvest_certificates(analyzer) if collect_certificates else []
+    return result, certificates
 
 
-def _execute_payload(payload: str, cache_dir: str | None, fingerprint: str) -> dict:
-    """Worker entry point: canonical JSON in, flat result dict out."""
+def execute_job(
+    job: AnalysisJob, *, cache_dir: str | None = None, fingerprint: str | None = None
+) -> JobResult:
+    """Run one job to a :class:`JobResult`, capturing failures as statuses."""
+    return execute_job_record(job, cache_dir=cache_dir, fingerprint=fingerprint)[0]
+
+
+def _execute_payload(
+    payload: str,
+    cache_dir: str | None,
+    fingerprint: str,
+    collect_certificates: bool = False,
+) -> dict:
+    """Worker entry point: canonical JSON in, flat result + certificate dicts out."""
     job = AnalysisJob.from_json(payload)
-    return execute_job(job, cache_dir=cache_dir, fingerprint=fingerprint).to_json_dict()
+    result, certificates = execute_job_record(
+        job,
+        cache_dir=cache_dir,
+        fingerprint=fingerprint,
+        collect_certificates=collect_certificates,
+    )
+    return {
+        "result": result.to_json_dict(),
+        "certificates": [certificate.to_json_dict() for certificate in certificates],
+    }
 
 
 @dataclasses.dataclass
@@ -250,7 +312,7 @@ class BatchReport:
 
     ``results`` is aligned with the submitted job list (duplicates share the
     same :class:`JobResult` object); the counters describe how much work the
-    engine actually did versus answered from dedupe and the store.
+    engine actually did versus answered from dedupe and the stores.
     """
 
     results: list[JobResult]
@@ -258,6 +320,7 @@ class BatchReport:
     resumed: int
     deduplicated: int
     elapsed_seconds: float
+    outcome_hits: int = 0
 
     @property
     def ok(self) -> bool:
@@ -271,13 +334,22 @@ class AnalysisEngine:
     """Executes analysis job batches with dedupe, resume, and worker sharding.
 
     Args:
-        workers: process-pool size; 1 executes inline (no subprocess), which
-            is also the deterministic fallback used by tests.
+        workers: requested process-pool size; 1 executes inline (no
+            subprocess), which is also the deterministic fallback used by
+            tests.  By default the effective size is clamped to
+            ``os.cpu_count()`` — extra processes on a smaller box only add
+            fork/IPC overhead (``adaptive_workers=False`` opts out and takes
+            the requested count literally).
         store: a :class:`ResultStore`, a path to create one at, or None.
             Every executed result is appended to the store; with
             ``resume=True`` completed fingerprints are not re-executed.
         cache_dir: directory of the shared on-disk gate-bound cache handed to
             every worker (None disables sharing).
+        outcomes: an :class:`~repro.engine.outcomes.OutcomeStore`, a path to
+            create one at, or None.  With a store attached, fingerprints it
+            holds skip execution entirely (a warm hit is one dict lookup) and
+            every executed success is written back together with its dual
+            certificates.
     """
 
     def __init__(
@@ -286,22 +358,35 @@ class AnalysisEngine:
         workers: int = 1,
         store: ResultStore | str | None = None,
         cache_dir: str | None = None,
+        outcomes: OutcomeStore | str | None = None,
+        adaptive_workers: bool = True,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
-        self.workers = int(workers)
+        self.requested_workers = int(workers)
+        if adaptive_workers:
+            self.workers = max(1, min(self.requested_workers, os.cpu_count() or 1))
+        else:
+            self.workers = self.requested_workers
         self.store = ResultStore(store) if isinstance(store, (str, os.PathLike)) else store
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             os.makedirs(self.cache_dir, exist_ok=True)
+        self.outcomes = (
+            OutcomeStore(outcomes)
+            if isinstance(outcomes, (str, os.PathLike))
+            else outcomes
+        )
         self._last_shards: dict | None = None
 
     def stats(self) -> dict:
         """Execution statistics: configuration plus the last batch's sharding."""
         return {
             "workers": self.workers,
+            "requested_workers": self.requested_workers,
             "cache_dir": self.cache_dir,
             "store_results": len(self.store) if self.store is not None else None,
+            "outcomes": self.outcomes.stats() if self.outcomes is not None else None,
             "last_batch_shards": dict(self._last_shards) if self._last_shards else None,
         }
 
@@ -344,26 +429,37 @@ class AnalysisEngine:
 
         results: dict[str, JobResult] = {}
         resumed = 0
-        if resume and self.store is not None:
-            for fingerprint in unique:
-                if self.store.completed(fingerprint):
-                    results[fingerprint] = self.store.get(fingerprint)
-                    resumed += 1
+        outcome_hits = 0
+        with contextlib.ExitStack() as stack:
+            if self.outcomes is not None:
+                # Pin the batch's fingerprints so a concurrent batch's inserts
+                # cannot evict an entry between the hit decision and the read.
+                stack.enter_context(self.outcomes.pinned(list(unique)))
+                for fingerprint in unique:
+                    cached = self.outcomes.get(fingerprint)
+                    if cached is not None:
+                        results[fingerprint] = cached
+                        outcome_hits += 1
+            if resume and self.store is not None:
+                for fingerprint in unique:
+                    if fingerprint not in results and self.store.completed(fingerprint):
+                        results[fingerprint] = self.store.get(fingerprint)
+                        resumed += 1
 
-        pending = self._shard_pending(
-            [
-                (fingerprint, job)
-                for fingerprint, job in unique.items()
-                if fingerprint not in results
-            ]
-        )
-        if pending:
-            if self.workers == 1:
-                executed = self._run_inline(pending, results)
+            pending = self._shard_pending(
+                [
+                    (fingerprint, job)
+                    for fingerprint, job in unique.items()
+                    if fingerprint not in results
+                ]
+            )
+            if pending:
+                if self.workers == 1:
+                    executed = self._run_inline(pending, results)
+                else:
+                    executed = self._run_pool(pending, results)
             else:
-                executed = self._run_pool(pending, results)
-        else:
-            executed = 0
+                executed = 0
 
         return BatchReport(
             results=[results[fingerprint] for fingerprint in fingerprints],
@@ -371,23 +467,35 @@ class AnalysisEngine:
             resumed=resumed,
             deduplicated=len(jobs) - len(unique),
             elapsed_seconds=time.perf_counter() - start,
+            outcome_hits=outcome_hits,
         )
 
     # -- execution backends ------------------------------------------------
-    def _record(self, results: dict[str, JobResult], fingerprint: str, result: JobResult) -> None:
+    def _record(
+        self,
+        results: dict[str, JobResult],
+        fingerprint: str,
+        result: JobResult,
+        certificates: Sequence = (),
+    ) -> None:
         results[fingerprint] = result
         if self.store is not None:
             self.store.put(result)
+        if self.outcomes is not None and result.ok:
+            self.outcomes.put(result, certificates)
 
     def _run_inline(
         self, pending: list[tuple[str, AnalysisJob]], results: dict[str, JobResult]
     ) -> int:
+        collect = self.outcomes is not None
         for fingerprint, job in pending:
-            self._record(
-                results,
-                fingerprint,
-                execute_job(job, cache_dir=self.cache_dir, fingerprint=fingerprint),
+            result, certificates = execute_job_record(
+                job,
+                cache_dir=self.cache_dir,
+                fingerprint=fingerprint,
+                collect_certificates=collect,
             )
+            self._record(results, fingerprint, result, certificates)
         return len(pending)
 
     def _run_pool(
@@ -400,11 +508,16 @@ class AnalysisEngine:
         (OOM kill, segfault) breaks the pool; the affected jobs are recorded
         as ``error`` results and the sweep still returns.
         """
+        collect = self.outcomes is not None
         max_workers = min(self.workers, len(pending))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             futures = {
                 pool.submit(
-                    _execute_payload, job.to_json(), self.cache_dir, fingerprint
+                    _execute_payload,
+                    job.to_json(),
+                    self.cache_dir,
+                    fingerprint,
+                    collect,
                 ): fingerprint
                 for fingerprint, job in pending
             }
@@ -414,8 +527,11 @@ class AnalysisEngine:
                 done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
                 for future in done:
                     fingerprint = futures[future]
+                    certificates: list = []
                     try:
-                        result = JobResult.from_json_dict(future.result())
+                        payload = future.result()
+                        result = JobResult.from_json_dict(payload["result"])
+                        certificates = payload.get("certificates") or []
                     except Exception as exc:
                         result = JobResult(
                             fingerprint=fingerprint,
@@ -423,5 +539,5 @@ class AnalysisEngine:
                             status="error",
                             error=f"worker failed: {type(exc).__name__}: {exc}",
                         )
-                    self._record(results, fingerprint, result)
+                    self._record(results, fingerprint, result, certificates)
         return len(pending)

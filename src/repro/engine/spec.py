@@ -195,7 +195,13 @@ class AnalysisJob:
 
         Stable across processes, insensitive to dict/rule ordering, and
         independent of execution knobs (see :func:`_semantic_config_dict`).
+        Memoised on the instance: jobs are declarative requests, never
+        mutated after construction, and re-serializing the whole program on
+        every warm engine pass would dominate the outcome-store hit path.
         """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
         payload = {
             "version": JOB_SCHEMA_VERSION,
             "program": program_to_json_dict(self.program),
@@ -204,7 +210,9 @@ class AnalysisJob:
             "initial_bits": list(self.initial_bits) if self.initial_bits is not None else None,
             "num_qubits": self.num_qubits,
         }
-        return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+        digest = hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+        self.__dict__["_fingerprint"] = digest
+        return digest
 
 
 @dataclasses.dataclass
@@ -232,6 +240,7 @@ class JobResult:
     mps_walks: int = 0
     mps_width: int = 0
     noise_model: str = ""
+    tape_steps_reused: int = 0
     error: str | None = None
 
     @property

@@ -11,11 +11,41 @@ from __future__ import annotations
 
 import contextlib
 import warnings
+from collections.abc import Callable, Sequence
 
-from ..api import AnalysisSession
+from ..api import AnalysisOutcome, AnalysisSession
 from ..errors import ExperimentError
 
-__all__ = ["resolve_session"]
+__all__ = ["resolve_session", "stream_batch"]
+
+
+def stream_batch(
+    active: AnalysisSession,
+    jobs: Sequence,
+    progress: Callable[[str], None] | None = None,
+) -> list[AnalysisOutcome]:
+    """Run ``jobs`` through ``active``, streaming per-job progress lines.
+
+    With ``progress`` set, the batch runs through
+    :meth:`~repro.api.AnalysisSession.as_completed` and every finished job
+    emits one line as its result lands (instead of silence until batch end);
+    without it this is a plain ``analyze_batch`` call.  Either way the
+    returned outcomes are aligned with ``jobs``.
+    """
+    if progress is None:
+        return active.analyze_batch(jobs)
+    jobs = list(jobs)
+    outcomes: list[AnalysisOutcome | None] = [None] * len(jobs)
+    done = 0
+    for index, outcome in active.as_completed(jobs):
+        outcomes[index] = outcome
+        done += 1
+        if outcome.ok:
+            detail = f"bound={outcome.bound:.6e} ({outcome.elapsed_seconds:.2f}s)"
+        else:
+            detail = f"{outcome.status}: {outcome.error or 'no detail'}"
+        progress(f"[{done}/{len(jobs)}] {outcome.name}: {detail}")
+    return outcomes  # type: ignore[return-value]
 
 
 @contextlib.contextmanager

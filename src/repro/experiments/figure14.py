@@ -16,7 +16,7 @@ from ..config import AnalysisConfig, DEFAULT_BIT_FLIP_PROBABILITY
 from ..errors import ExperimentError
 from ..noise.model import NoiseModel
 from ..programs.library import benchmark_by_name
-from ._session import resolve_session
+from ._session import resolve_session, stream_batch
 
 __all__ = ["Figure14Point", "Figure14Result", "run_figure14", "DEFAULT_WIDTHS"]
 
@@ -65,6 +65,7 @@ def run_figure14(
     store_path: str | None = None,
     cache_dir: str | None = None,
     scheduler: bool = True,
+    progress=None,
 ) -> Figure14Result:
     """Sweep the MPS width on the Ising benchmark and record bound/runtime.
 
@@ -74,7 +75,8 @@ def run_figure14(
     ``scheduler=False`` forces the sequential per-gate path instead of the
     single-pass scheduled pipeline.  The ``workers``/``resume``/
     ``store_path``/``cache_dir`` kwargs are **deprecated** shims for
-    ``session=``.
+    ``session=``.  ``progress`` receives one line per finished point as
+    results land (completion order); None keeps the silent batch behaviour.
     """
     spec = benchmark_by_name(benchmark, scale)
     circuit = spec.build()
@@ -99,7 +101,7 @@ def run_figure14(
             )
             for width in widths
         ]
-        outcomes = active.analyze_batch(jobs)
+        outcomes = stream_batch(active, jobs, progress)
 
     points: list[Figure14Point] = []
     for width, analysis in zip(widths, outcomes):

@@ -50,6 +50,11 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="disable the single-pass scheduled pipeline (sequential per-gate path)",
         )
+        sub.add_argument(
+            "--progress",
+            action="store_true",
+            help="stream one line per job to stderr as results land",
+        )
 
     table2 = subparsers.add_parser("table2", help="error bounds on the benchmark suite")
     add_common(table2)
@@ -84,6 +89,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     scheduler = not getattr(args, "no_scheduler", False)
+    progress = None
+    if getattr(args, "progress", False):
+        progress = lambda line: print(line, file=sys.stderr, flush=True)  # noqa: E731
     sections: list[str] = []
     with session_from_args(args) as session:
         if args.command in ("table2", "all"):
@@ -94,6 +102,7 @@ def main(argv: list[str] | None = None) -> int:
                 include_lqr=not getattr(args, "no_lqr", False),
                 session=session,
                 scheduler=scheduler,
+                progress=progress,
             )
             sections.append(render_table2(result, markdown=args.markdown))
         if args.command in ("figure14", "all"):
@@ -105,6 +114,7 @@ def main(argv: list[str] | None = None) -> int:
                 benchmark=benchmark,
                 session=session,
                 scheduler=scheduler,
+                progress=progress,
             )
             sections.append(render_figure14(result, markdown=args.markdown))
         if args.command in ("table3", "all"):

@@ -27,7 +27,7 @@ from ..core.baselines import lqr_full_simulation_bound, worst_case_bound
 from ..errors import ExperimentError
 from ..noise.model import NoiseModel
 from ..programs.library import BenchmarkSpec, table2_benchmarks
-from ._session import resolve_session
+from ._session import resolve_session, stream_batch
 
 __all__ = ["Table2Row", "Table2Result", "run_table2", "run_table2_row"]
 
@@ -159,6 +159,7 @@ def run_table2(
     store_path: str | None = None,
     cache_dir: str | None = None,
     scheduler: bool = True,
+    progress=None,
 ) -> Table2Result:
     """Regenerate Table 2 at the requested scale.
 
@@ -180,6 +181,8 @@ def run_table2(
             (with a :class:`DeprecationWarning`); use ``session=`` instead.
         scheduler: run the single-pass scheduled pipeline (default); False
             forces the sequential per-gate path, mainly for comparisons.
+        progress: a callable receiving one line per finished job as results
+            land (completion order); None keeps the silent batch behaviour.
     """
     if mps_width is None:
         mps_width = 128 if scale == "full" else 16
@@ -208,7 +211,7 @@ def run_table2(
             active.job(circuit, noise_model, config=run_config, name=spec.name)
             for spec, circuit in zip(specs, circuits)
         ]
-        outcomes = active.analyze_batch(jobs)
+        outcomes = stream_batch(active, jobs, progress)
     rows = [
         _assemble_row(
             spec, circuit, analysis, noise_model, run_config, include_lqr=include_lqr

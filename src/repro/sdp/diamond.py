@@ -1044,6 +1044,16 @@ class GateBoundCache:
         )
         return key_parts + (rho_bytes, delta_key), rounded_rho, effective_delta
 
+    def bounds_snapshot(self) -> list[DiamondNormBound]:
+        """Every cached bound, in insertion (recency) order.
+
+        Used by the engine to harvest the dual certificates of a finished
+        job for the whole-outcome store; the returned list is a copy, so
+        callers can iterate without holding the cache lock.
+        """
+        with self._lock:
+            return list(self._store.values())
+
     # -- lookup layers -------------------------------------------------------
     def peek(
         self,

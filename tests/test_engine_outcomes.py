@@ -1,0 +1,277 @@
+"""Tests for the whole-outcome cache: store semantics, corruption paths,
+engine/session/service wiring, and on-demand certificate re-verification."""
+
+import json
+
+import pytest
+
+from helpers import random_circuit
+
+from repro.api import AnalysisSession
+from repro.circuits import Circuit
+from repro.config import AnalysisConfig, SDPConfig
+from repro.engine.outcomes import OutcomeCertificate, OutcomeStore
+from repro.engine.pool import AnalysisEngine, execute_job_record
+from repro.engine.service import AnalysisService
+from repro.engine.spec import AnalysisJob, JobResult
+from repro.noise import NoiseModel
+
+FAST = AnalysisConfig(mps_width=4, sdp=SDPConfig(max_iterations=200, tolerance=1e-4))
+MODEL = NoiseModel.uniform_bit_flip(1e-3)
+
+
+def _job(circuit: Circuit, name: str | None = None) -> AnalysisJob:
+    return AnalysisJob.from_circuit(circuit, MODEL, config=FAST, name=name)
+
+
+def _small_jobs() -> list[AnalysisJob]:
+    return [
+        _job(Circuit(2, name="ghz2").h(0).cx(0, 1)),
+        _job(Circuit(3, name="ghz3").h(0).cx(0, 1).cx(1, 2)),
+        _job(random_circuit(3, 12, seed=5), name="random3x12"),
+    ]
+
+
+def _executed(job: AnalysisJob):
+    result, certificates = execute_job_record(job, collect_certificates=True)
+    assert result.ok and certificates
+    return result, certificates
+
+
+class TestStoreBasics:
+    def test_roundtrip_and_reload(self, tmp_path):
+        path = str(tmp_path / "outcomes.jsonl")
+        job = _small_jobs()[0]
+        result, certificates = _executed(job)
+
+        store = OutcomeStore(path)
+        assert store.get(result.fingerprint) is None  # miss
+        store.put(result, certificates)
+        assert store.get(result.fingerprint) == result
+
+        # A fresh process (new store over the same file) answers identically.
+        reloaded = OutcomeStore(path)
+        assert reloaded.get(result.fingerprint) == result
+        assert len(reloaded.certificates(result.fingerprint)) == len(certificates)
+
+    def test_failed_results_never_stored(self, tmp_path):
+        store = OutcomeStore(str(tmp_path / "outcomes.jsonl"))
+        store.put(JobResult(fingerprint="f" * 8, name="boom", status="timeout"))
+        assert len(store) == 0
+
+    def test_verify_on_demand_passes_for_genuine_records(self, tmp_path):
+        path = str(tmp_path / "outcomes.jsonl")
+        job = _small_jobs()[0]
+        result, certificates = _executed(job)
+        store = OutcomeStore(path)
+        store.put(result, certificates)
+        assert store.get(result.fingerprint, verify=True) == result
+        assert store.stats()["verification_failures"] == 0
+
+
+class TestCorruptionPaths:
+    def test_truncated_trailing_line_healed_on_load(self, tmp_path):
+        path = str(tmp_path / "outcomes.jsonl")
+        jobs = _small_jobs()[:2]
+        store = OutcomeStore(path)
+        results = []
+        for job in jobs:
+            result, certificates = _executed(job)
+            store.put(result, certificates)
+            results.append(result)
+        # Simulate a kill mid-append: a cut-off record without a newline.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"version": 1, "kind": "analysis_outc')
+
+        healed = OutcomeStore(path)
+        assert healed.skipped_lines == 1
+        assert healed.get(results[0].fingerprint) == results[0]
+        # The next append heals the file: a fresh load sees every record.
+        extra, extra_certs = _executed(_small_jobs()[2])
+        healed.put(extra, extra_certs)
+        final = OutcomeStore(path)
+        for result in [*results, extra]:
+            assert final.get(result.fingerprint) == result
+
+    def test_tampered_certificate_rejected_by_verify(self, tmp_path):
+        path = str(tmp_path / "outcomes.jsonl")
+        job = _small_jobs()[0]
+        result, certificates = _executed(job)
+        OutcomeStore(path).put(result, certificates)
+
+        # Tamper on disk: claim a smaller certified value than the dual
+        # certificate actually establishes.
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.loads(handle.readline())
+        for certificate in record["certificates"]:
+            certificate["value"] = certificate["value"] * 1e-3
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+
+        store = OutcomeStore(path)
+        # Blind lookups still answer (the record parses) ...
+        assert store.get(result.fingerprint) is not None
+        # ... but verify=True re-checks the certificates, drops the record,
+        # and reports a miss, so the caller recomputes.
+        assert store.get(result.fingerprint, verify=True) is None
+        stats = store.stats()
+        assert stats["verification_failures"] == 1
+        assert store.get(result.fingerprint) is None  # entry is gone
+
+    def test_garbage_certificate_payload_fails_verification(self, tmp_path):
+        path = str(tmp_path / "outcomes.jsonl")
+        job = _small_jobs()[0]
+        result, _certificates = _executed(job)
+        store = OutcomeStore(path)
+        store.put(result, [{"not": "a certificate"}])
+        assert store.get(result.fingerprint, verify=True) is None
+        assert store.stats()["verification_failures"] == 1
+
+
+class TestEvictionAndPinning:
+    def test_lru_eviction_over_cap(self, tmp_path):
+        path = str(tmp_path / "outcomes.jsonl")
+        store = OutcomeStore(path, max_entries=2)
+        results = []
+        for job in _small_jobs():
+            result, certificates = _executed(job)
+            store.put(result, certificates)
+            results.append(result)
+        assert len(store) == 2
+        assert store.stats()["evictions"] == 1
+        assert store.get(results[0].fingerprint) is None  # LRU victim
+        assert store.get(results[2].fingerprint) is not None
+
+    def test_hits_refresh_recency(self, tmp_path):
+        store = OutcomeStore(str(tmp_path / "outcomes.jsonl"), max_entries=2)
+        jobs = _small_jobs()
+        first, first_certs = _executed(jobs[0])
+        second, second_certs = _executed(jobs[1])
+        store.put(first, first_certs)
+        store.put(second, second_certs)
+        store.get(first.fingerprint)  # touch: first is now most recent
+        third, third_certs = _executed(jobs[2])
+        store.put(third, third_certs)
+        assert store.get(first.fingerprint) is not None
+        assert store.get(second.fingerprint) is None  # evicted instead
+
+    def test_eviction_never_drops_a_pinned_entry(self, tmp_path):
+        store = OutcomeStore(str(tmp_path / "outcomes.jsonl"), max_entries=1)
+        jobs = _small_jobs()
+        first, first_certs = _executed(jobs[0])
+        store.put(first, first_certs)
+        with store.pinned([first.fingerprint]):
+            # Inserts from a concurrent batch exceed the cap, but the pinned
+            # entry survives (the store transiently overshoots instead).
+            for job in jobs[1:]:
+                result, certificates = _executed(job)
+                store.put(result, certificates)
+            assert store.get(first.fingerprint) is not None
+        # Pins released: the deferred eviction brings the store back to cap.
+        assert len(store) == 1
+
+    def test_compaction_preserves_live_entries(self, tmp_path):
+        path = str(tmp_path / "outcomes.jsonl")
+        store = OutcomeStore(path, max_entries=1)
+        results = []
+        # Enough churn to trigger the dead-lines > live+64 compaction rule.
+        for index in range(70):
+            job = _job(Circuit(2, name=f"c{index}").h(0).rx(0.01 * (index + 1), 1))
+            result, certificates = execute_job_record(job, collect_certificates=True)
+            store.put(result, certificates)
+            results.append(result)
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle.read().splitlines() if line.strip()]
+        assert len(lines) < 70  # the log was rewritten
+        assert store.get(results[-1].fingerprint) == results[-1]
+        assert OutcomeStore(path).get(results[-1].fingerprint) == results[-1]
+
+
+class TestEngineIntegration:
+    def test_warm_hit_skips_execution_and_is_bit_identical(self, tmp_path):
+        path = str(tmp_path / "outcomes.jsonl")
+        jobs = _small_jobs()
+        cold = AnalysisEngine(workers=1, outcomes=path).run(jobs)
+        assert cold.ok and cold.executed == 3 and cold.outcome_hits == 0
+
+        warm_engine = AnalysisEngine(workers=1, outcomes=path)
+        warm = warm_engine.run(jobs)
+        assert warm.executed == 0
+        assert warm.outcome_hits == 3
+        assert [r.error_bound for r in warm.results] == [
+            r.error_bound for r in cold.results
+        ]
+        assert warm.results == cold.results  # whole records, bit-identical
+        stats = warm_engine.stats()["outcomes"]
+        assert stats["hits"] == 3 and stats["entries"] == 3
+
+    def test_stored_certificates_reverifiable_after_engine_run(self, tmp_path):
+        path = str(tmp_path / "outcomes.jsonl")
+        jobs = _small_jobs()
+        AnalysisEngine(workers=1, outcomes=path).run(jobs)
+        store = OutcomeStore(path)
+        for job in jobs:
+            fingerprint = job.fingerprint()
+            assert store.get(fingerprint, verify=True) is not None
+            assert store.certificates(fingerprint)
+        assert store.stats()["verification_failures"] == 0
+
+    def test_pool_workers_collect_certificates(self, tmp_path):
+        path = str(tmp_path / "outcomes.jsonl")
+        jobs = _small_jobs()
+        report = AnalysisEngine(
+            workers=2, outcomes=path, adaptive_workers=False
+        ).run(jobs)
+        assert report.ok
+        store = OutcomeStore(path)
+        for job in jobs:
+            assert store.get(job.fingerprint(), verify=True) is not None
+
+    def test_outcome_certificate_wire_roundtrip(self):
+        _result, certificates = _executed(_small_jobs()[0])
+        for certificate in certificates:
+            clone = OutcomeCertificate.from_json_dict(certificate.to_json_dict())
+            assert clone.verify()
+            assert clone.value == certificate.value
+
+
+class TestSessionAndServiceIntegration:
+    def test_session_analyze_batch_answers_warm_from_store(self, tmp_path):
+        path = str(tmp_path / "outcomes.jsonl")
+        circuit = Circuit(2, name="ghz2").h(0).cx(0, 1)
+        with AnalysisSession(config=FAST, outcomes=path) as session:
+            cold = session.analyze(circuit, MODEL)
+        with AnalysisSession(config=FAST, outcomes=path) as session:
+            warm = session.analyze(circuit, MODEL)
+            # Nothing was pending: the whole batch answered from the store.
+            assert session.engine.stats()["last_batch_shards"]["pending_jobs"] == 0
+        assert warm == cold
+
+    def test_service_warm_hit_answers_without_the_pool(self, tmp_path):
+        path = str(tmp_path / "outcomes.jsonl")
+        job = _small_jobs()[0]
+        AnalysisEngine(workers=1, outcomes=path).run([job])
+
+        engine = AnalysisEngine(workers=1, outcomes=path)
+        service = AnalysisService(engine, batch_window=0.01)
+        try:
+            service.start()
+            entry = service.submit_job(job)
+            # "done" at submission time: no queue, no batcher, no pool.
+            assert entry["status"] == "done"
+            assert entry["result"]["error_bound"] is not None
+            assert service.batches_run == 0
+        finally:
+            service.stop()
+
+    def test_capabilities_expose_outcome_counters(self, tmp_path):
+        path = str(tmp_path / "outcomes.jsonl")
+        with AnalysisSession(config=FAST, outcomes=path) as session:
+            session.analyze(Circuit(2, name="ghz2").h(0).cx(0, 1), MODEL)
+            outcomes = session.capabilities()["engine"]["outcomes"]
+        assert outcomes is not None
+        assert {"hits", "misses", "evictions"} <= set(outcomes)
+
+    def test_remote_session_rejects_outcomes_knob(self):
+        with pytest.raises(Exception):
+            AnalysisSession(remote="http://127.0.0.1:1", outcomes="o.jsonl")

@@ -1,0 +1,167 @@
+"""Tests for ReplayTape prefix memoisation (``core/scheduler.py``).
+
+The contract under test: a prefix-memoised (warm) analysis is **bit-identical**
+to a cold one — same error bound, same final delta — while reusing the
+recorded walk of every shared top-level step.  Memoisation is an execution
+knob (``AnalysisConfig.tape_memo``); it never changes fingerprints or
+results, only how the tape is produced.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import random_circuit
+
+from repro.circuits import Circuit
+from repro.config import AnalysisConfig, SDPConfig
+from repro.core.analyzer import analyze_program
+from repro.core.scheduler import clear_tape_memo, tape_memo_stats
+from repro.noise import NoiseModel
+
+FAST = AnalysisConfig(mps_width=4, sdp=SDPConfig(max_iterations=200, tolerance=1e-4))
+NO_MEMO = FAST.replace(tape_memo=False)
+MODEL = NoiseModel.uniform_bit_flip(1e-3)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    """Every test starts and ends with an empty process-wide tape memo."""
+    clear_tape_memo()
+    yield
+    clear_tape_memo()
+
+
+def _analyze(circuit: Circuit, config: AnalysisConfig = FAST):
+    return analyze_program(circuit, MODEL, config=config)
+
+
+# A small gate vocabulary for generated suffixes: (name, arity).
+_GATES = [("h", 1), ("x", 1), ("rx", 1), ("rz", 1), ("cx", 2)]
+
+
+def _apply(circuit: Circuit, gate: tuple[str, int, int, float]) -> Circuit:
+    name, qubit, other, angle = gate
+    if name == "rx":
+        return circuit.rx(angle, qubit)
+    if name == "rz":
+        return circuit.rz(angle, qubit)
+    if name == "cx":
+        return circuit.cx(qubit, other)
+    return getattr(circuit, name)(qubit)
+
+
+def _gate_strategy(num_qubits: int):
+    return st.tuples(
+        st.sampled_from([name for name, _arity in _GATES]),
+        st.integers(min_value=0, max_value=num_qubits - 1),
+        st.integers(min_value=0, max_value=num_qubits - 1),
+        st.floats(min_value=0.05, max_value=1.5, allow_nan=False),
+    ).filter(lambda gate: gate[0] != "cx" or gate[1] != gate[2])
+
+
+class TestBitIdentity:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        prefix_depth=st.integers(min_value=2, max_value=8),
+        suffix=st.lists(_gate_strategy(3), min_size=1, max_size=4),
+    )
+    def test_prefix_hit_bit_identical_to_cold(self, seed, prefix_depth, suffix):
+        """Property: for any shared prefix and any divergent suffix, the warm
+        analysis (prefix served from the memo) equals the cold one bit for bit."""
+        # Circuit builders mutate in place: build the shared prefix twice
+        # (same seed => identical program) instead of aliasing it.
+        prefix = random_circuit(3, prefix_depth, seed=seed)
+        extended = random_circuit(3, prefix_depth, seed=seed)
+        for gate in suffix:
+            extended = _apply(extended, gate)
+
+        # Cold reference with memoisation off entirely.
+        cold = _analyze(extended, NO_MEMO)
+        assert cold.tape_steps_reused == 0
+
+        # Seed the memo with the prefix, then analyze the extension warm.
+        clear_tape_memo()
+        _analyze(prefix)
+        warm = _analyze(extended)
+
+        assert warm.tape_steps_reused > 0
+        assert warm.error_bound == cold.error_bound
+        assert warm.final_delta == cold.final_delta
+
+    def test_identical_rerun_reuses_every_step(self):
+        circuit = random_circuit(3, 12, seed=5)
+        first = _analyze(circuit)
+        assert first.tape_steps_reused == 0
+        again = _analyze(circuit)
+        assert again.tape_steps_reused > 0
+        assert again.error_bound == first.error_bound
+        assert again.final_delta == first.final_delta
+
+
+class TestKnobsAndStats:
+    def test_tape_memo_off_never_reuses(self):
+        circuit = random_circuit(3, 10, seed=7)
+        _analyze(circuit, NO_MEMO)
+        repeat = _analyze(circuit, NO_MEMO)
+        assert repeat.tape_steps_reused == 0
+        assert tape_memo_stats()["entries"] == 0
+
+    def test_stats_count_hits_and_misses(self):
+        circuit = random_circuit(3, 8, seed=11)
+        _analyze(circuit)
+        after_cold = tape_memo_stats()
+        assert after_cold["misses"] >= 1
+        assert after_cold["entries"] > 0
+        _analyze(circuit)
+        after_warm = tape_memo_stats()
+        assert after_warm["hits"] == after_cold["hits"] + 1
+        assert after_warm["steps_reused"] > 0
+
+    def test_clear_empties_the_memo(self):
+        _analyze(random_circuit(2, 6, seed=3))
+        assert tape_memo_stats()["entries"] > 0
+        clear_tape_memo()
+        assert tape_memo_stats()["entries"] == 0
+
+    def test_different_noise_models_do_not_share_entries(self):
+        """The memo key includes the environment: a different noise model must
+        re-walk, and its results must match its own memo-off reference."""
+        circuit = random_circuit(2, 8, seed=13)
+        _analyze(circuit)  # seed the memo under MODEL
+        other_model = NoiseModel.uniform_bit_flip(5e-3)
+        warm = analyze_program(circuit, other_model, config=FAST)
+        assert warm.tape_steps_reused == 0  # no cross-environment reuse
+        cold = analyze_program(circuit, other_model, config=NO_MEMO)
+        assert warm.error_bound == cold.error_bound
+
+    def test_different_mps_width_does_not_share_entries(self):
+        circuit = random_circuit(2, 8, seed=17)
+        _analyze(circuit)
+        wider = FAST.replace(mps_width=8)
+        warm = analyze_program(circuit, MODEL, config=wider)
+        assert warm.tape_steps_reused == 0
+        cold = analyze_program(circuit, MODEL, config=wider.replace(tape_memo=False))
+        assert warm.error_bound == cold.error_bound
+
+
+class TestMeasurementBoundary:
+    def test_memo_stops_at_first_measuring_step(self):
+        """Steps at or after the first measurement are never memoised — the
+        recorded walk would not be branch-safe — but the shared gate prefix
+        before it still is, and results stay bit-identical."""
+        circuit = (
+            Circuit(2, name="measured")
+            .h(0)
+            .cx(0, 1)
+            .if_measure(0, lambda c: c.x(1), lambda c: c.z(1))
+            .x(1)
+        )
+        cold = _analyze(circuit, NO_MEMO)
+        _analyze(circuit)
+        warm = _analyze(circuit)
+        # Only the two pre-measurement steps are eligible for reuse.
+        assert 0 < warm.tape_steps_reused <= 2
+        assert warm.error_bound == cold.error_bound
+        assert warm.final_delta == cold.final_delta
