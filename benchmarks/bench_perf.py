@@ -227,6 +227,51 @@ def measure_batch_certification(*, mps_width: int = 16) -> dict:
     }
 
 
+def measure_tracing_overhead(*, mps_width: int = 16, repeats: int = 3) -> dict:
+    """Cost of running the reference workload with full observability on.
+
+    Runs the scheduled analysis ``repeats`` times with tracing + a scoped
+    metrics registry active and ``repeats`` times with both off, keeping the
+    best time of each (best-of-N is the standard way to shave scheduler
+    jitter off a CI runner).  The bounds must be bit-identical either way —
+    observability is read-only by construction.
+    """
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.trace import collecting
+
+    def best_of(instrumented: bool) -> tuple[float, float, int]:
+        best = float("inf")
+        bound = None
+        spans = 0
+        for _ in range(repeats):
+            if instrumented:
+                with obs_metrics.scoped(), collecting() as collector:
+                    run = measure_reference_workload(
+                        scheduler=True, mps_width=mps_width
+                    )
+                    spans = len(collector)
+            else:
+                run = measure_reference_workload(scheduler=True, mps_width=mps_width)
+            best = min(best, run["seconds"])
+            bound = run["error_bound"]
+        return best, bound, spans
+
+    off_seconds, off_bound, _ = best_of(False)
+    on_seconds, on_bound, span_count = best_of(True)
+    return {
+        "seconds_off": off_seconds,
+        "seconds_on": on_seconds,
+        "overhead_ratio": on_seconds / max(off_seconds, 1e-9),
+        "spans_recorded": span_count,
+        "bit_identical": off_bound == on_bound,
+    }
+
+
+#: CI gate: tracing + metrics may cost at most this fraction of the
+#: uninstrumented runtime on the reference workload (ISSUE 7 acceptance).
+TRACING_OVERHEAD_BUDGET = 0.05
+
+
 def collect_all() -> dict:
     """The full BENCH_perf.json payload."""
     # One small warm-up analysis so the measured phases reflect steady state
@@ -257,6 +302,7 @@ def collect_all() -> dict:
         "kernel_microbench": measure_kernel_microbench(),
         "batch_certification_microbench": measure_batch_certification(),
         "batched_reduction_microbench": measure_batched_reductions(),
+        "tracing_overhead_microbench": measure_tracing_overhead(),
         "speedup_vs_seed_baseline": SEED_BASELINE_SECONDS / scheduled["seconds"],
         "speedup_scheduled_vs_sequential": (
             sequential["seconds"] / scheduled["seconds"]

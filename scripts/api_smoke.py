@@ -34,6 +34,49 @@ from repro import AnalysisConfig, Circuit, NoiseModel  # noqa: E402
 from repro.api import AnalysisSession, Client  # noqa: E402
 from repro.errors import JobNotFoundError  # noqa: E402
 
+METRIC_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? ([0-9.eE+-]+|NaN|[+-]Inf)$"
+)
+
+
+def check_observability(base_url: str) -> None:
+    """Validate ``/v1/healthz`` and the ``/v1/metrics`` Prometheus exposition."""
+    import json
+    import urllib.request
+
+    with urllib.request.urlopen(f"{base_url}/v1/healthz", timeout=10) as response:
+        health = json.loads(response.read())
+    assert health["status"] == "ok", health
+    for key in ("version", "uptime_seconds", "queue_depth", "workers"):
+        assert key in health, f"/v1/healthz missing {key}: {health}"
+
+    with urllib.request.urlopen(f"{base_url}/v1/metrics", timeout=10) as response:
+        content_type = response.headers.get("Content-Type", "")
+        body = response.read().decode("utf-8")
+    assert content_type.startswith("text/plain"), content_type
+    families: set[str] = set()
+    for line in body.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            families.add(line.split()[2])
+            continue
+        assert METRIC_LINE.match(line), f"malformed exposition line: {line!r}"
+    for family in (
+        "repro_http_request_seconds",
+        "repro_engine_jobs_total",
+        "repro_service_queue_depth",
+    ):
+        assert family in families, f"/v1/metrics missing {family}; got {sorted(families)}"
+    # The batch we just ran must have moved the request-latency histogram.
+    samples = [
+        line
+        for line in body.splitlines()
+        if line.startswith("repro_http_request_seconds_count")
+    ]
+    assert samples, body
+    assert any(float(line.rsplit(" ", 1)[1]) > 0 for line in samples), samples
+
 FAST = AnalysisConfig(mps_width=4)
 MODEL = NoiseModel.uniform_bit_flip(1e-3)
 
@@ -111,9 +154,12 @@ def main() -> int:
         else:
             raise AssertionError("unknown fingerprint did not raise JobNotFoundError")
 
+        check_observability(base_url)
+
         print(
             f"api smoke OK: {len(jobs)} submissions, bounds bit-identical "
-            f"({remote_bounds}), long-poll push in 1 request"
+            f"({remote_bounds}), long-poll push in 1 request, "
+            "/v1/healthz + /v1/metrics exposition valid"
         )
         return 0
     finally:

@@ -75,6 +75,13 @@ def run_perf(check_only: bool) -> int:
         f"sequential bounds: "
         f"{payload['single_pass']['bounds_bit_identical_scheduled_vs_sequential']}"
     )
+    tracing = payload["tracing_overhead_microbench"]
+    print(
+        f"tracing overhead: {(tracing['overhead_ratio'] - 1.0) * 100:+.1f}% "
+        f"({tracing['seconds_off']:.2f}s off -> {tracing['seconds_on']:.2f}s on, "
+        f"{tracing['spans_recorded']} spans, "
+        f"bit-identical: {tracing['bit_identical']})"
+    )
 
     if check_only:
         # The perf gate covers the batched-reduction path: the front door of
@@ -91,6 +98,21 @@ def run_perf(check_only: bool) -> int:
             print(
                 "REGRESSION: batched certification is no longer bit-identical "
                 "to the per-gate path",
+                file=sys.stderr,
+            )
+            return 1
+        if not tracing["bit_identical"]:
+            print(
+                "REGRESSION: bounds differ with tracing/metrics enabled — "
+                "observability must be read-only",
+                file=sys.stderr,
+            )
+            return 1
+        if tracing["overhead_ratio"] > 1.0 + bench_perf.TRACING_OVERHEAD_BUDGET:
+            print(
+                f"REGRESSION: tracing overhead "
+                f"{(tracing['overhead_ratio'] - 1.0) * 100:.1f}% exceeds the "
+                f"{bench_perf.TRACING_OVERHEAD_BUDGET * 100:.0f}% budget",
                 file=sys.stderr,
             )
             return 1

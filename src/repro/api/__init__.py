@@ -36,6 +36,7 @@ from .session import (
     AnalysisSession,
     add_session_arguments,
     session_from_args,
+    trace_to_file,
 )
 
 __all__ = [
@@ -44,4 +45,5 @@ __all__ = [
     "Client",
     "add_session_arguments",
     "session_from_args",
+    "trace_to_file",
 ]

@@ -16,6 +16,7 @@ transports are bit-identical for the same jobs: the engine executes both.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
 import time
 from collections.abc import Iterator, Sequence
@@ -45,6 +46,7 @@ __all__ = [
     "AnalysisSession",
     "add_session_arguments",
     "session_from_args",
+    "trace_to_file",
 ]
 
 
@@ -64,7 +66,16 @@ class AnalysisOutcome:
         bound: the certified error bound (None unless ``status == "ok"``).
         final_delta: accumulated MPS truncation bound.
         num_gates / num_branches: size of the analysed derivation.
-        elapsed_seconds: wall-clock analysis time.
+        elapsed_seconds: *server-side* wall-clock execution time of the
+            analysis itself — on remote sessions this is the time the engine
+            spent, not the time the client waited (queueing, batching, and
+            long-poll park time are excluded).
+        round_trip_seconds: client-observed wall clock from submission to
+            result receipt (remote sessions only; None locally).
+        timings: structured per-phase breakdown from the analyzer
+            (``total_seconds``, ``prefill_walk_seconds``,
+            ``prefill_solve_seconds``, ``replay_seconds``, ``solve_classes``);
+            empty on legacy records.
         sdp_solves / sdp_cache_hits / sdp_dominance_hits / scheduled_solves:
             SDP workload statistics.
         mps_walks: MPS evolutions through the program (1 on the single-pass
@@ -96,6 +107,8 @@ class AnalysisOutcome:
     noise_model: str
     tape_steps_reused: int = 0
     error: str | None = None
+    timings: dict = dataclasses.field(default_factory=dict)
+    round_trip_seconds: float | None = None
     derivation: Derivation | None = dataclasses.field(
         default=None, compare=False, repr=False
     )
@@ -128,7 +141,11 @@ class AnalysisOutcome:
 
     @classmethod
     def from_job_result(
-        cls, result: JobResult, *, derivation: Derivation | None = None
+        cls,
+        result: JobResult,
+        *,
+        derivation: Derivation | None = None,
+        round_trip_seconds: float | None = None,
     ) -> "AnalysisOutcome":
         return cls(
             name=result.name,
@@ -148,15 +165,28 @@ class AnalysisOutcome:
             noise_model=result.noise_model,
             tape_steps_reused=result.tape_steps_reused,
             error=result.error,
+            timings=dict(result.timings or {}),
+            round_trip_seconds=round_trip_seconds,
             derivation=derivation,
         )
 
     @classmethod
-    def from_wire_entry(cls, entry: dict) -> "AnalysisOutcome":
-        """An outcome from a service status entry (``/v1`` or in-process)."""
+    def from_wire_entry(
+        cls, entry: dict, *, round_trip_seconds: float | None = None
+    ) -> "AnalysisOutcome":
+        """An outcome from a service status entry (``/v1`` or in-process).
+
+        ``entry["result"]["elapsed_seconds"]`` is the server-side execution
+        time; ``round_trip_seconds`` is the client-measured submission-to-
+        receipt clock remote transports pass in (they are only equal when
+        nothing queued).
+        """
         payload = entry.get("result")
         if payload is not None:
-            return cls.from_job_result(JobResult.from_json_dict(payload))
+            return cls.from_job_result(
+                JobResult.from_json_dict(payload),
+                round_trip_seconds=round_trip_seconds,
+            )
         # Batcher-level failures carry no JobResult; synthesize one.
         return cls.from_job_result(
             JobResult(
@@ -164,7 +194,8 @@ class AnalysisOutcome:
                 name=entry.get("name", "job"),
                 status="error",
                 error=entry.get("error", f"job finished as {entry.get('status')!r}"),
-            )
+            ),
+            round_trip_seconds=round_trip_seconds,
         )
 
     def to_json_dict(self) -> dict:
@@ -423,19 +454,19 @@ class AnalysisSession:
                 return entry
 
     def _remote_batch(self, jobs: list[AnalysisJob]) -> list[AnalysisOutcome]:
+        submitted = time.monotonic()
         entries = self.client.submit(jobs)
         outcomes: dict[str, AnalysisOutcome] = {}
         for entry in entries:
             fingerprint = entry["fingerprint"]
             if fingerprint in outcomes:
                 continue
-            if entry["status"] in TERMINAL_STATUSES:
-                outcomes[fingerprint] = AnalysisOutcome.from_wire_entry(entry)
-            else:
-                outcomes[fingerprint] = AnalysisOutcome.from_wire_entry(
-                    self._wait_remote_entry(fingerprint, None)
-                )
-        return [outcomes[entry["fingerprint"]] for entry in entries]
+            if entry["status"] not in TERMINAL_STATUSES:
+                entry = self._wait_remote_entry(fingerprint, None)
+            outcomes[fingerprint] = AnalysisOutcome.from_wire_entry(
+                entry, round_trip_seconds=time.monotonic() - submitted
+            )
+        return [outcomes[entry_out["fingerprint"]] for entry_out in entries]
 
     def as_completed(
         self, jobs: Sequence[AnalysisJob], *, timeout: float | None = None
@@ -500,6 +531,7 @@ class AnalysisSession:
         from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor
         from concurrent.futures import wait as futures_wait
 
+        submitted = time.monotonic()
         entries = self.client.submit(jobs)
         indices_by_fp: dict[str, list[int]] = {}
         for index, entry in enumerate(entries):
@@ -522,7 +554,10 @@ class AnalysisSession:
                 )
                 for future in done:
                     fingerprint = remaining[future]
-                    outcome = AnalysisOutcome.from_wire_entry(future.result())
+                    outcome = AnalysisOutcome.from_wire_entry(
+                        future.result(),
+                        round_trip_seconds=time.monotonic() - submitted,
+                    )
                     for index in indices_by_fp[fingerprint]:
                         yield index, outcome
 
@@ -608,6 +643,20 @@ def add_session_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="submit to a running gleipnir-serve at this URL instead of running locally",
     )
+    group.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="OUT.json",
+        help="write a Chrome trace-event JSON of the run (load in Perfetto)",
+    )
+    group.add_argument(
+        "--log-level",
+        type=str,
+        default="INFO",
+        choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+        help="stdlib logging level for progress/diagnostic output",
+    )
 
 
 def session_from_args(
@@ -645,3 +694,23 @@ def session_from_args(
         resume=getattr(args, "resume", False),
         config=config,
     )
+
+
+@contextlib.contextmanager
+def trace_to_file(path: str | None, *, label: str = "gleipnir"):
+    """Collect spans for the enclosed block and write a Chrome trace on exit.
+
+    ``path`` of ``None``/empty is a no-op (so CLIs can pass ``args.trace``
+    straight through).  The trace file is written even when the block raises,
+    so partial runs can still be inspected in Perfetto.
+    """
+    if not path:
+        yield None
+        return
+    from ..obs.trace import collecting, write_chrome_trace
+
+    with collecting() as collector:
+        try:
+            yield collector
+        finally:
+            write_chrome_trace(path, collector.spans(), label=label)

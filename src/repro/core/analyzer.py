@@ -37,6 +37,8 @@ from ..config import AnalysisConfig
 from ..errors import LogicError
 from ..mps.approximator import MPSApproximator
 from ..noise.model import NoiseModel
+from ..obs import metrics as obs_metrics
+from ..obs.trace import span
 from ..sdp.diamond import GateBoundCache
 from .derivation import (
     Derivation,
@@ -185,6 +187,12 @@ class AnalysisResult:
         tape_steps_reused: top-level program steps the pre-pass answered
             from the replay-tape prefix memo instead of re-walking (0 with
             the memo disabled or on a cold walk).
+        timings: structured per-phase wall-clock breakdown — always present:
+            ``total_seconds``, ``prefill_walk_seconds``,
+            ``prefill_solve_seconds``, ``replay_seconds``, and
+            ``solve_classes`` (one ``{"solve_class", "count", "seconds"}``
+            event per batched SDP template group).  Pure observation: the
+            clocks never influence the derivation.
     """
 
     error_bound: float
@@ -202,6 +210,7 @@ class AnalysisResult:
     scheduled_solves: int = 0
     mps_walks: int = 1
     tape_steps_reused: int = 0
+    timings: dict = dataclasses.field(default_factory=dict)
 
     def gate_contributions(self) -> list[GateContribution]:
         if self.derivation is None:
@@ -274,6 +283,7 @@ class GleipnirAnalyzer:
         scheduled_solves = 0
         tape_steps_reused = 0
         tape = None
+        prefill_report = None
         if self.config.scheduler and self.config.sdp.cache:
             # Program-level pre-pass: collect every quantised solve class,
             # dedupe, and batch-solve the unique set before the derivation
@@ -285,10 +295,11 @@ class GleipnirAnalyzer:
             scheduler = BoundScheduler(
                 self.noise_model, self._cache, self.config, gate_key=self._gate_key
             )
-            report = scheduler.prefill(normalised, bits)
-            scheduled_solves = report.num_solved
-            tape_steps_reused = report.tape_steps_reused
-            tape = report.tape
+            with span("scheduler.prefill", "analysis", program=name):
+                prefill_report = scheduler.prefill(normalised, bits)
+            scheduled_solves = prefill_report.num_solved
+            tape_steps_reused = prefill_report.tape_steps_reused
+            tape = prefill_report.tape
 
         if tape is not None:
             trace: _LiveTrace | _TapeTrace = _TapeTrace(tape)
@@ -300,10 +311,37 @@ class GleipnirAnalyzer:
         self._num_gates = 0
         self._num_branches = 1
         self._max_delta = 0.0
-        root = self._analyze_node(normalised, trace)
+        replay_start = time.perf_counter()
+        with span(
+            "analyzer.replay" if tape is not None else "analyzer.walk",
+            "analysis",
+            program=name,
+        ):
+            root = self._analyze_node(normalised, trace)
+        replay_seconds = time.perf_counter() - replay_start
         if tape is not None:
             tape.verify_exhausted()
         elapsed = time.perf_counter() - start
+        timings = {
+            "total_seconds": elapsed,
+            "prefill_walk_seconds": (
+                prefill_report.walk_seconds if prefill_report is not None else 0.0
+            ),
+            "prefill_solve_seconds": (
+                prefill_report.solve_seconds if prefill_report is not None else 0.0
+            ),
+            "replay_seconds": replay_seconds,
+            "solve_classes": (
+                list(prefill_report.solve_timings)
+                if prefill_report is not None
+                else []
+            ),
+        }
+        self._publish_metrics(
+            solves=self._cache.misses - solves_before,
+            hits=self._cache.hits - hits_before,
+            dominance_hits=self._cache.dominance_hits - dominance_before,
+        )
 
         derivation = None
         if self.config.collect_derivation:
@@ -328,7 +366,31 @@ class GleipnirAnalyzer:
             scheduled_solves=scheduled_solves,
             mps_walks=1,
             tape_steps_reused=tape_steps_reused,
+            timings=timings,
         )
+
+    @staticmethod
+    def _publish_metrics(*, solves: int, hits: int, dominance_hits: int) -> None:
+        """Fold this analysis's bound-cache deltas into the metric registry.
+
+        The cache keeps its own counters on the per-gate hot path; publishing
+        the per-analysis deltas once keeps lookups free of registry work.
+        """
+        pairs = (
+            ("miss", solves),
+            ("hit", hits),
+            ("dominance_hit", dominance_hits),
+        )
+        for outcome, amount in pairs:
+            if amount:
+                obs_metrics.counter(
+                    "repro_gate_bound_lookups_total",
+                    "Gate-bound cache lookups by outcome (miss = fresh solve).",
+                    {"outcome": outcome},
+                ).inc(amount)
+        obs_metrics.counter(
+            "repro_analyses_total", "Analyses completed by this process."
+        ).inc()
 
     @property
     def cache(self) -> GateBoundCache:

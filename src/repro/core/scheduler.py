@@ -37,6 +37,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -46,6 +47,8 @@ from ..config import AnalysisConfig
 from ..errors import LogicError
 from ..mps.approximator import MPSApproximator
 from ..noise.model import NoiseModel
+from ..obs import metrics as obs_metrics
+from ..obs.trace import span
 from ..sdp.diamond import (
     GateBoundCache,
     gate_error_bounds_batch,
@@ -154,6 +157,12 @@ class SchedulerReport:
     num_prefilled: int = 0
     tape: ReplayTape | None = None
     tape_steps_reused: int = 0
+    #: Wall-clock seconds of the MPS collection walk and the batched solve
+    #: phase, plus one ``{"solve_class", "count", "seconds"}`` event per SDP
+    #: template group — the per-solve-class cost data persisted with results.
+    walk_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    solve_timings: list = dataclasses.field(default_factory=list)
 
 
 class BoundScheduler:
@@ -183,13 +192,16 @@ class BoundScheduler:
         self._classes.clear()
         self._instances = 0
         tape = ReplayTape()
-        if getattr(self.config, "tape_memo", True):
-            steps_reused = self._collect_memoised(
-                program, initial_bits, approximator, tape
-            )
-        else:
-            self._collect(program, approximator, tape)
-            steps_reused = 0
+        walk_start = time.perf_counter()
+        with span("scheduler.walk", "scheduler"):
+            if getattr(self.config, "tape_memo", True):
+                steps_reused = self._collect_memoised(
+                    program, initial_bits, approximator, tape
+                )
+            else:
+                self._collect(program, approximator, tape)
+                steps_reused = 0
+        walk_seconds = time.perf_counter() - walk_start
 
         pending = [
             solve_class
@@ -216,42 +228,51 @@ class BoundScheduler:
             num_prefilled=len(self._classes) - len(pending),
             tape=tape,
             tape_steps_reused=steps_reused,
+            walk_seconds=walk_seconds,
         )
         if not pending:
             return report
 
+        solve_start = time.perf_counter()
         workers = min(self.config.scheduler_workers, len(pending))
-        if workers <= 1:
-            self._solve_chunk(pending)
-        else:
-            # Strided chunks over a shape-sorted order (stable sort, so
-            # deterministic): every worker receives an even share of each
-            # reduced problem shape, regardless of how the collection pass
-            # interleaved them.  This balances the solve cost across threads
-            # — expensive unreduced dim-4 classes spread out instead of
-            # clustering in whichever chunk their gates happened to land —
-            # while the batch solver still groups each chunk by template
-            # internally.
-            pending.sort(key=lambda c: reduced_problem_dim(c.noise_channel))
-            chunks = [pending[index::workers] for index in range(workers)]
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                list(pool.map(self._solve_chunk, chunks))
+        with span("scheduler.solve", "scheduler", pending=len(pending), workers=workers):
+            if workers <= 1:
+                report.solve_timings.extend(self._solve_chunk(pending))
+            else:
+                # Strided chunks over a shape-sorted order (stable sort, so
+                # deterministic): every worker receives an even share of each
+                # reduced problem shape, regardless of how the collection pass
+                # interleaved them.  This balances the solve cost across threads
+                # — expensive unreduced dim-4 classes spread out instead of
+                # clustering in whichever chunk their gates happened to land —
+                # while the batch solver still groups each chunk by template
+                # internally.
+                pending.sort(key=lambda c: reduced_problem_dim(c.noise_channel))
+                chunks = [pending[index::workers] for index in range(workers)]
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    for events in pool.map(self._solve_chunk, chunks):
+                        report.solve_timings.extend(events)
+        report.solve_seconds = time.perf_counter() - solve_start
         return report
 
-    def _solve_chunk(self, chunk: list[SolveClass]) -> None:
+    def _solve_chunk(self, chunk: list[SolveClass]) -> list:
+        """Solve one chunk; returns its per-solve-class timing events."""
         instances = [
             (c.gate_matrix, c.noise_channel, c.rho_rounded, c.delta_effective)
             for c in chunk
         ]
+        timing_events: list = []
         bounds = gate_error_bounds_batch(
             instances,
             noise_after_gate=self.config.noise_after_gate,
             config=self.config.sdp,
+            timing_events=timing_events,
         )
         for solve_class, bound in zip(chunk, bounds):
             self.cache.insert(
                 solve_class.key, bound, fingerprint=solve_class.fingerprint
             )
+        return timing_events
 
     # -- prefix memoisation ---------------------------------------------------
     def _memo_env_key(self, initial_bits: list[int]) -> str | None:
@@ -335,6 +356,17 @@ class BoundScheduler:
                 _TAPE_MEMO_STATS["steps_reused"] += resume_index + 1
             else:
                 _TAPE_MEMO_STATS["misses"] += 1
+        outcome = "hit" if resume_index >= 0 else "miss"
+        obs_metrics.counter(
+            "repro_tape_memo_lookups_total",
+            "Replay-tape prefix memo lookups by outcome.",
+            {"outcome": outcome},
+        ).inc()
+        if resume_index >= 0:
+            obs_metrics.counter(
+                "repro_tape_steps_reused_total",
+                "Top-level program steps answered from the tape prefix memo.",
+            ).inc(resume_index + 1)
 
         steps_reused = 0
         if resume_index >= 0:

@@ -34,6 +34,7 @@ from collections.abc import Iterable, Iterator
 import numpy as np
 
 from ..errors import EngineError
+from ..obs import metrics as obs_metrics
 from ..sdp.certificates import DualCertificate, verify_certificate
 from .spec import JobResult, canonical_json
 
@@ -258,10 +259,12 @@ class OutcomeStore:
             entry = self._entries.get(fingerprint)
             if entry is None:
                 self._misses += 1
+                self._count("miss")
                 return None
             if not verify:
                 self._touch(fingerprint, entry)
                 self._hits += 1
+                self._count("hit")
                 return entry["result"]
             raw_certificates = list(entry["certificates"])
         # Decode + verify outside the lock: O(certificates) eigenvalue work.
@@ -276,15 +279,27 @@ class OutcomeStore:
             current = self._entries.get(fingerprint)
             if current is None:
                 self._misses += 1
+                self._count("miss")
                 return None
             if not verified:
                 del self._entries[fingerprint]
                 self._verification_failures += 1
                 self._misses += 1
+                self._count("verification_failure")
                 return None
             self._touch(fingerprint, current)
             self._hits += 1
+            self._count("verified_hit")
             return current["result"]
+
+    @staticmethod
+    def _count(outcome: str) -> None:
+        """One outcome-store event into the metric registry."""
+        obs_metrics.counter(
+            "repro_outcome_store_lookups_total",
+            "Whole-outcome store lookups by outcome.",
+            {"outcome": outcome},
+        ).inc()
 
     def certificates(self, fingerprint: str) -> list[OutcomeCertificate]:
         """The decoded dual certificates stored with an outcome."""
@@ -395,6 +410,10 @@ class OutcomeStore:
                 continue
             del self._entries[fingerprint]
             self._evictions += 1
+            obs_metrics.counter(
+                "repro_outcome_store_evictions_total",
+                "Outcome-store entries evicted by the LRU cap.",
+            ).inc()
 
     def _maybe_compact(self) -> None:
         """Rewrite the log when dead lines outnumber live entries.

@@ -48,6 +48,8 @@ from ..circuits.program import GateOp, IfMeasure, Program, Seq
 from ..config import AnalysisConfig
 from ..core.analyzer import GleipnirAnalyzer
 from ..errors import ResourceLimitExceeded
+from ..obs import metrics as obs_metrics
+from ..obs.trace import collecting, emit_spans, reset_tracing, span, tracing_active
 from .outcomes import OutcomeCertificate, OutcomeStore
 from .spec import AnalysisJob, JobResult
 from .store import ResultStore
@@ -203,6 +205,7 @@ def job_result_from_analysis(fingerprint: str, name: str, analysis) -> JobResult
         mps_width=analysis.mps_width,
         noise_model=analysis.noise_model,
         tape_steps_reused=getattr(analysis, "tape_steps_reused", 0),
+        timings=dict(getattr(analysis, "timings", {}) or {}),
     )
 
 
@@ -291,18 +294,46 @@ def _execute_payload(
     cache_dir: str | None,
     fingerprint: str,
     collect_certificates: bool = False,
+    trace_spans: bool = False,
 ) -> dict:
-    """Worker entry point: canonical JSON in, flat result + certificate dicts out."""
+    """Worker entry point: canonical JSON in, flat result + certificate dicts out.
+
+    The job runs under a scoped metric registry, so the returned ``metrics``
+    snapshot carries exactly this job's increments — pool processes are
+    reused across jobs, and a cumulative snapshot would double-count when the
+    parent merges one per job.  With ``trace_spans`` set (the parent has an
+    active trace), the worker collects its own spans and ships them back with
+    its ``time.perf_counter()`` origin (``trace_clock``) so the parent can
+    re-base them onto its clock.
+    """
     job = AnalysisJob.from_json(payload)
-    result, certificates = execute_job_record(
-        job,
-        cache_dir=cache_dir,
-        fingerprint=fingerprint,
-        collect_certificates=collect_certificates,
-    )
+    reset_tracing()  # fork children inherit the parent's active collector
+    trace_clock = time.perf_counter()
+    spans: list = []
+    with obs_metrics.scoped() as registry:
+        if trace_spans:
+            with collecting() as collector:
+                result, certificates = execute_job_record(
+                    job,
+                    cache_dir=cache_dir,
+                    fingerprint=fingerprint,
+                    collect_certificates=collect_certificates,
+                )
+            spans = [item.to_json_dict() for item in collector.spans()]
+        else:
+            result, certificates = execute_job_record(
+                job,
+                cache_dir=cache_dir,
+                fingerprint=fingerprint,
+                collect_certificates=collect_certificates,
+            )
+        snapshot = registry.wire_snapshot()
     return {
         "result": result.to_json_dict(),
         "certificates": [certificate.to_json_dict() for certificate in certificates],
+        "metrics": snapshot,
+        "spans": spans,
+        "trace_clock": trace_clock,
     }
 
 
@@ -431,20 +462,27 @@ class AnalysisEngine:
         resumed = 0
         outcome_hits = 0
         with contextlib.ExitStack() as stack:
+            stack.enter_context(
+                span("engine.batch", "engine", jobs=len(jobs), unique=len(unique))
+            )
             if self.outcomes is not None:
                 # Pin the batch's fingerprints so a concurrent batch's inserts
                 # cannot evict an entry between the hit decision and the read.
                 stack.enter_context(self.outcomes.pinned(list(unique)))
-                for fingerprint in unique:
-                    cached = self.outcomes.get(fingerprint)
-                    if cached is not None:
-                        results[fingerprint] = cached
-                        outcome_hits += 1
+                with span("engine.outcome_lookup", "engine", unique=len(unique)):
+                    for fingerprint in unique:
+                        cached = self.outcomes.get(fingerprint)
+                        if cached is not None:
+                            results[fingerprint] = cached
+                            outcome_hits += 1
             if resume and self.store is not None:
-                for fingerprint in unique:
-                    if fingerprint not in results and self.store.completed(fingerprint):
-                        results[fingerprint] = self.store.get(fingerprint)
-                        resumed += 1
+                with span("engine.resume", "engine"):
+                    for fingerprint in unique:
+                        if fingerprint not in results and self.store.completed(
+                            fingerprint
+                        ):
+                            results[fingerprint] = self.store.get(fingerprint)
+                            resumed += 1
 
             pending = self._shard_pending(
                 [
@@ -454,18 +492,25 @@ class AnalysisEngine:
                 ]
             )
             if pending:
-                if self.workers == 1:
-                    executed = self._run_inline(pending, results)
-                else:
-                    executed = self._run_pool(pending, results)
+                with span("engine.execute", "engine", pending=len(pending)):
+                    if self.workers == 1:
+                        executed = self._run_inline(pending, results)
+                    else:
+                        executed = self._run_pool(pending, results)
             else:
                 executed = 0
+        deduplicated = len(jobs) - len(unique)
+        if deduplicated:
+            obs_metrics.counter(
+                "repro_engine_deduplicated_total",
+                "Submitted jobs answered by another identical job in the batch.",
+            ).inc(deduplicated)
 
         return BatchReport(
             results=[results[fingerprint] for fingerprint in fingerprints],
             executed=executed,
             resumed=resumed,
-            deduplicated=len(jobs) - len(unique),
+            deduplicated=deduplicated,
             elapsed_seconds=time.perf_counter() - start,
             outcome_hits=outcome_hits,
         )
@@ -483,6 +528,16 @@ class AnalysisEngine:
             self.store.put(result)
         if self.outcomes is not None and result.ok:
             self.outcomes.put(result, certificates)
+        obs_metrics.counter(
+            "repro_engine_jobs_total",
+            "Jobs executed by the engine, by final status.",
+            {"status": result.status},
+        ).inc()
+        obs_metrics.histogram(
+            "repro_engine_job_seconds",
+            "Server-side execution seconds per executed job.",
+            {"status": result.status},
+        ).observe(result.elapsed_seconds)
 
     def _run_inline(
         self, pending: list[tuple[str, AnalysisJob]], results: dict[str, JobResult]
@@ -509,18 +564,22 @@ class AnalysisEngine:
         as ``error`` results and the sweep still returns.
         """
         collect = self.outcomes is not None
+        trace = tracing_active()
         max_workers = min(self.workers, len(pending))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {
-                pool.submit(
+            futures = {}
+            dispatched = {}
+            for fingerprint, job in pending:
+                future = pool.submit(
                     _execute_payload,
                     job.to_json(),
                     self.cache_dir,
                     fingerprint,
                     collect,
-                ): fingerprint
-                for fingerprint, job in pending
-            }
+                    trace,
+                )
+                futures[future] = fingerprint
+                dispatched[fingerprint] = time.perf_counter()
             names = {fingerprint: job.name for fingerprint, job in pending}
             outstanding = set(futures)
             while outstanding:
@@ -532,6 +591,9 @@ class AnalysisEngine:
                         payload = future.result()
                         result = JobResult.from_json_dict(payload["result"])
                         certificates = payload.get("certificates") or []
+                        self._merge_worker_observability(
+                            payload, dispatched[fingerprint]
+                        )
                     except Exception as exc:
                         result = JobResult(
                             fingerprint=fingerprint,
@@ -541,3 +603,24 @@ class AnalysisEngine:
                         )
                     self._record(results, fingerprint, result, certificates)
         return len(pending)
+
+    @staticmethod
+    def _merge_worker_observability(payload: dict, dispatch_clock: float) -> None:
+        """Fold a worker's metric snapshot and spans into this process.
+
+        Worker spans carry the worker's own ``perf_counter`` origin; shifting
+        them by (dispatch clock − worker origin) re-bases them onto the
+        parent's clock, aligned to within the fork/IPC latency, so the
+        cross-process rows of a Chrome trace line up.
+        """
+        snapshot = payload.get("metrics")
+        if snapshot:
+            obs_metrics.get_registry().merge(snapshot)
+        spans = payload.get("spans")
+        if spans and tracing_active():
+            from ..obs.trace import Span
+
+            offset = dispatch_clock - float(payload.get("trace_clock", 0.0))
+            emit_spans(
+                [Span.from_json_dict(item).shift(offset) for item in spans]
+            )

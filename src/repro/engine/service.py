@@ -26,6 +26,13 @@ under ``/v1/`` and is what :class:`repro.api.Client` speaks:
   request after submission.
 * ``GET /v1/capabilities`` — service discovery: API versions, job schema
   version, server limits (batch sizes, wait window), worker count.
+* ``GET /v1/healthz`` — liveness: version, uptime, queue depth, workers,
+  result/outcome store sizes.  The legacy unversioned ``/healthz`` serves
+  the same payload with a ``Deprecation`` header.
+* ``GET /v1/metrics`` — Prometheus text exposition of the process-wide
+  :mod:`repro.obs.metrics` registry: per-endpoint latency histograms,
+  in-flight/long-poll gauges, engine/outcome/cache/tape counters, and
+  per-solve-class SDP solve histograms (see ``docs/observability.md``).
 
 Errors on ``/v1`` are **structured envelopes** mapped from the
 :class:`~repro.errors.ReproError` hierarchy::
@@ -58,6 +65,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from ..errors import BatchLimitExceeded, EngineError, ReproError, error_envelope
+from ..obs import metrics as obs_metrics
 from ..version import __version__
 from .outcomes import OutcomeStore
 from .pool import AnalysisEngine
@@ -117,6 +125,7 @@ class AnalysisService:
         self._stopped = False
         self._thread: threading.Thread | None = None
         self.batches_run = 0
+        self._started_monotonic = time.monotonic()
 
     @property
     def stopped(self) -> bool:
@@ -257,6 +266,8 @@ class AnalysisService:
                 "job": f"GET /{API_VERSION}/jobs/<fingerprint>",
                 "wait": f"GET /{API_VERSION}/jobs/<fingerprint>?wait=<seconds>",
                 "capabilities": f"GET /{API_VERSION}/capabilities",
+                "healthz": f"GET /{API_VERSION}/healthz",
+                "metrics": f"GET /{API_VERSION}/metrics",
             },
             "deprecated_endpoints": ["POST /jobs", "GET /jobs/<fingerprint>"],
         }
@@ -274,6 +285,53 @@ class AnalysisService:
             "queue_depth": self._queue.qsize(),
             "engine": self.engine.stats(),
         }
+
+    def healthz(self) -> dict:
+        """The ``GET /v1/healthz`` payload: liveness + capacity at a glance."""
+        stats = self.stats()
+        engine = self.engine
+        return {
+            "status": "ok",
+            "version": __version__,
+            "api_version": API_VERSION,
+            "uptime_seconds": time.monotonic() - self._started_monotonic,
+            "queue_depth": stats["queue_depth"],
+            "workers": engine.workers,
+            "batches_run": stats["batches_run"],
+            "jobs": stats["jobs"],
+            "result_store_entries": (
+                len(engine.store) if engine.store is not None else None
+            ),
+            "outcome_store_entries": (
+                len(engine.outcomes) if engine.outcomes is not None else None
+            ),
+        }
+
+    def render_metrics(self) -> str:
+        """The ``GET /v1/metrics`` body: Prometheus text exposition.
+
+        Point-in-time service gauges (queue depth, tracked jobs per status)
+        are refreshed into the registry at scrape time; counters and
+        latency histograms accumulate as requests and batches flow.
+        """
+        registry = obs_metrics.get_registry()
+        stats = self.stats()
+        registry.gauge(
+            "repro_service_queue_depth", "Jobs waiting for an engine batch."
+        ).set(stats["queue_depth"])
+        registry.gauge(
+            "repro_service_uptime_seconds", "Seconds since service start."
+        ).set(time.monotonic() - self._started_monotonic)
+        registry.counter(
+            "repro_service_batches_run_total", "Engine batches completed."
+        ).value = float(stats["batches_run"])
+        for status, count in stats["jobs"].items():
+            registry.gauge(
+                "repro_service_jobs",
+                "Tracked job status entries, by status.",
+                {"status": status},
+            ).set(count)
+        return registry.render_prometheus()
 
     # -- waiting -----------------------------------------------------------
     def wait_for(self, fingerprint: str, *, timeout: float) -> dict | None:
@@ -391,9 +449,48 @@ def make_server(
     long-poll ``GET /v1/jobs/<fp>?wait=`` blocks only its connection.
     """
 
+    def _route_label(path: str) -> str:
+        """Low-cardinality endpoint label for the latency histograms."""
+        if path.startswith(f"/{API_VERSION}"):
+            sub = path[len(API_VERSION) + 1 :]
+            if sub.startswith("/jobs"):
+                return f"/{API_VERSION}/jobs/{{fingerprint}}"
+            return f"/{API_VERSION}{sub}" if sub else f"/{API_VERSION}"
+        if path.startswith("/jobs"):
+            return "/jobs"
+        if path == "/healthz":
+            return "/healthz"
+        return "other"
+
     class Handler(BaseHTTPRequestHandler):
         def log_message(self, format: str, *args) -> None:  # quiet by default
             pass
+
+        def _observed(self, method: str, handler) -> None:
+            """Run one request handler under the HTTP metrics."""
+            endpoint = _route_label(urlparse(self.path).path.rstrip("/"))
+            in_flight = obs_metrics.gauge(
+                "repro_http_in_flight", "HTTP requests currently being handled."
+            )
+            in_flight.inc()
+            started = time.perf_counter()
+            try:
+                handler()
+            finally:
+                in_flight.dec()
+                obs_metrics.histogram(
+                    "repro_http_request_seconds",
+                    "HTTP request latency by endpoint and method.",
+                    {"endpoint": endpoint, "method": method},
+                ).observe(time.perf_counter() - started)
+
+        def _send_text(self, code: int, body: str, content_type: str) -> None:
+            payload = body.encode("utf-8")
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
 
         def _send_json(self, code: int, payload: dict, *, deprecated: bool = False) -> None:
             body = json.dumps(payload).encode()
@@ -418,6 +515,16 @@ def make_server(
             if path == "/capabilities":
                 self._send_json(200, service.capabilities())
                 return
+            if path == "/healthz":
+                self._send_json(200, service.healthz())
+                return
+            if path == "/metrics":
+                self._send_text(
+                    200,
+                    service.render_metrics(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+                return
             if path.startswith("/jobs/"):
                 fingerprint = path[len("/jobs/"):]
                 wait = query.get("wait")
@@ -434,7 +541,16 @@ def make_server(
                             EngineError(f"invalid wait parameter {wait[0]!r}"), 400
                         )
                         return
-                    entry = service.wait_for(fingerprint, timeout=seconds)
+                    parked = obs_metrics.gauge(
+                        "repro_http_longpoll_parked",
+                        "Long-poll requests currently parked on the condition "
+                        "variable.",
+                    )
+                    parked.inc()
+                    try:
+                        entry = service.wait_for(fingerprint, timeout=seconds)
+                    finally:
+                        parked.dec()
                 else:
                     entry = service.status(fingerprint)
                 if entry is None:
@@ -480,6 +596,12 @@ def make_server(
 
         # -- dispatch -------------------------------------------------------
         def do_GET(self) -> None:
+            self._observed("GET", self._do_get)
+
+        def do_POST(self) -> None:
+            self._observed("POST", self._do_post)
+
+        def _do_get(self) -> None:
             parsed = urlparse(self.path)
             path = parsed.path.rstrip("/")
             query = parse_qs(parsed.query)
@@ -487,7 +609,8 @@ def make_server(
                 self._v1_get(path[len(API_VERSION) + 1 :], query)
                 return
             if path == "/healthz":
-                self._send_json(200, service.stats())
+                # Legacy shim: same payload as /v1/healthz, flagged deprecated.
+                self._send_json(200, service.healthz(), deprecated=True)
                 return
             # Deprecated unversioned surface (flat error shape, no long poll).
             if path.startswith("/jobs/"):
@@ -503,7 +626,7 @@ def make_server(
                 return
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
-        def do_POST(self) -> None:
+        def _do_post(self) -> None:
             parsed = urlparse(self.path)
             path = parsed.path.rstrip("/")
             if path.startswith(f"/{API_VERSION}"):

@@ -242,6 +242,11 @@ class JobResult:
     noise_model: str = ""
     tape_steps_reused: int = 0
     error: str | None = None
+    #: Structured per-phase breakdown (``repro.obs`` span totals): wall-clock
+    #: seconds per analysis phase plus per-solve-class solve timings — the
+    #: training data for a cross-job cost model.  Always present on executed
+    #: jobs; empty on legacy store records.
+    timings: dict = dataclasses.field(default_factory=dict)
 
     @property
     def ok(self) -> bool:

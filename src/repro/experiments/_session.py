@@ -10,29 +10,51 @@ property-tested so in ``tests/test_api_session.py``.
 from __future__ import annotations
 
 import contextlib
+import logging
 import warnings
 from collections.abc import Callable, Sequence
 
 from ..api import AnalysisOutcome, AnalysisSession
 from ..errors import ExperimentError
 
-__all__ = ["resolve_session", "stream_batch"]
+__all__ = ["configure_logging", "resolve_session", "stream_batch"]
+
+LOGGER = logging.getLogger("repro.experiments")
+
+
+def configure_logging(level: str = "INFO") -> None:
+    """Attach a stderr handler to the ``repro`` logger hierarchy.
+
+    Idempotent: repeated calls only adjust the level, so experiment drivers
+    composed under ``gleipnir-experiments all`` don't stack handlers and
+    double every line.
+    """
+    root = logging.getLogger("repro")
+    root.setLevel(getattr(logging, str(level).upper(), logging.INFO))
+    if not any(getattr(h, "_repro_cli", False) for h in root.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        handler._repro_cli = True  # type: ignore[attr-defined]
+        root.addHandler(handler)
 
 
 def stream_batch(
     active: AnalysisSession,
     jobs: Sequence,
-    progress: Callable[[str], None] | None = None,
+    progress: bool | Callable[[str], None] | None = None,
 ) -> list[AnalysisOutcome]:
     """Run ``jobs`` through ``active``, streaming per-job progress lines.
 
-    With ``progress`` set, the batch runs through
+    With ``progress`` truthy, the batch runs through
     :meth:`~repro.api.AnalysisSession.as_completed` and every finished job
-    emits one line as its result lands (instead of silence until batch end);
-    without it this is a plain ``analyze_batch`` call.  Either way the
-    returned outcomes are aligned with ``jobs``.
+    emits one ``repro.experiments`` log record (INFO level, with the job
+    fingerprint attached as ``record.fingerprint``) as its result lands,
+    instead of silence until batch end; without it this is a plain
+    ``analyze_batch`` call.  Passing a callable still works (it receives the
+    formatted line, the pre-logging contract) but new code should rely on
+    the logger.  Either way the returned outcomes are aligned with ``jobs``.
     """
-    if progress is None:
+    if not progress:
         return active.analyze_batch(jobs)
     jobs = list(jobs)
     outcomes: list[AnalysisOutcome | None] = [None] * len(jobs)
@@ -44,7 +66,11 @@ def stream_batch(
             detail = f"bound={outcome.bound:.6e} ({outcome.elapsed_seconds:.2f}s)"
         else:
             detail = f"{outcome.status}: {outcome.error or 'no detail'}"
-        progress(f"[{done}/{len(jobs)}] {outcome.name}: {detail}")
+        line = f"[{done}/{len(jobs)}] {outcome.name}: {detail}"
+        if callable(progress):
+            progress(line)
+        else:
+            LOGGER.info("%s", line, extra={"fingerprint": outcome.fingerprint})
     return outcomes  # type: ignore[return-value]
 
 

@@ -24,7 +24,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from ..api import add_session_arguments, session_from_args
+from ..api import add_session_arguments, session_from_args, trace_to_file
+from ._session import configure_logging
 from .figure14 import DEFAULT_WIDTHS, run_figure14
 from .report import render_figure14, render_table2, render_table3
 from .table2 import run_table2
@@ -53,7 +54,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--progress",
             action="store_true",
-            help="stream one line per job to stderr as results land",
+            help="log one line per job as results land (see --log-level)",
         )
 
     table2 = subparsers.add_parser("table2", help="error bounds on the benchmark suite")
@@ -88,38 +89,38 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    configure_logging(getattr(args, "log_level", "INFO"))
     scheduler = not getattr(args, "no_scheduler", False)
-    progress = None
-    if getattr(args, "progress", False):
-        progress = lambda line: print(line, file=sys.stderr, flush=True)  # noqa: E731
+    progress = bool(getattr(args, "progress", False))
     sections: list[str] = []
-    with session_from_args(args) as session:
-        if args.command in ("table2", "all"):
-            result = run_table2(
-                scale=args.scale,
-                mps_width=getattr(args, "mps_width", None),
-                benchmarks=getattr(args, "benchmarks", None),
-                include_lqr=not getattr(args, "no_lqr", False),
-                session=session,
-                scheduler=scheduler,
-                progress=progress,
-            )
-            sections.append(render_table2(result, markdown=args.markdown))
-        if args.command in ("figure14", "all"):
-            widths = getattr(args, "widths", list(DEFAULT_WIDTHS))
-            benchmark = getattr(args, "benchmark", "Isingmodel45")
-            result = run_figure14(
-                scale=args.scale,
-                widths=widths,
-                benchmark=benchmark,
-                session=session,
-                scheduler=scheduler,
-                progress=progress,
-            )
-            sections.append(render_figure14(result, markdown=args.markdown))
-        if args.command in ("table3", "all"):
-            result = run_table3(shots=getattr(args, "shots", 8192), session=session)
-            sections.append(render_table3(result, markdown=args.markdown))
+    with trace_to_file(getattr(args, "trace", None)):
+        with session_from_args(args) as session:
+            if args.command in ("table2", "all"):
+                result = run_table2(
+                    scale=args.scale,
+                    mps_width=getattr(args, "mps_width", None),
+                    benchmarks=getattr(args, "benchmarks", None),
+                    include_lqr=not getattr(args, "no_lqr", False),
+                    session=session,
+                    scheduler=scheduler,
+                    progress=progress,
+                )
+                sections.append(render_table2(result, markdown=args.markdown))
+            if args.command in ("figure14", "all"):
+                widths = getattr(args, "widths", list(DEFAULT_WIDTHS))
+                benchmark = getattr(args, "benchmark", "Isingmodel45")
+                result = run_figure14(
+                    scale=args.scale,
+                    widths=widths,
+                    benchmark=benchmark,
+                    session=session,
+                    scheduler=scheduler,
+                    progress=progress,
+                )
+                sections.append(render_figure14(result, markdown=args.markdown))
+            if args.command in ("table3", "all"):
+                result = run_table3(shots=getattr(args, "shots", 8192), session=session)
+                sections.append(render_table3(result, markdown=args.markdown))
 
     _emit("\n\n".join(sections), args.output)
     return 0

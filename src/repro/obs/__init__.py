@@ -1,0 +1,47 @@
+"""``repro.obs`` — the unified observability subsystem.
+
+Two cross-cutting facilities shared by every layer of the pipeline:
+
+* :mod:`repro.obs.trace` — a contextvar-nested **span tracer** (monotonic
+  clocks, picklable span records, Chrome trace-event export).  Zero cost
+  when no trace is active: every instrumentation point is one module-global
+  load away from a shared no-op context manager.
+* :mod:`repro.obs.metrics` — a process-wide **metric registry** (counters,
+  gauges, fixed-bucket histograms) with mergeable snapshots — pool workers
+  ship their per-job deltas back to the parent — and Prometheus text
+  exposition for ``GET /v1/metrics``.
+
+Neither facility ever changes what the pipeline computes: spans and metrics
+record times and counts, so analyses with observability enabled are
+bit-identical to analyses without (property-tested in
+``tests/test_obs.py``).
+
+See ``docs/observability.md`` for the span model, the metric-name table, and
+a trace-viewer walkthrough.
+"""
+
+from .metrics import MetricsRegistry, get_registry, set_registry
+from .trace import (
+    Span,
+    SpanCollector,
+    chrome_trace,
+    collecting,
+    reset_tracing,
+    span,
+    tracing_active,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Span",
+    "SpanCollector",
+    "chrome_trace",
+    "collecting",
+    "get_registry",
+    "reset_tracing",
+    "set_registry",
+    "span",
+    "tracing_active",
+    "write_chrome_trace",
+]

@@ -31,6 +31,7 @@ import dataclasses
 import hashlib
 import os
 import threading
+import time
 import weakref
 
 import numpy as np
@@ -38,6 +39,8 @@ import scipy.linalg
 
 from ..config import SDPConfig
 from ..errors import SDPError
+from ..obs import metrics as obs_metrics
+from ..obs.trace import span
 from ..linalg.channels import (
     QuantumChannel,
     choi_output_trace_map,
@@ -76,6 +79,7 @@ __all__ = [
     "reduced_problem_dim",
     "gate_error_bound",
     "gate_error_bounds_batch",
+    "solve_class_label",
     "GateBoundCache",
 ]
 
@@ -513,10 +517,21 @@ def _certify_solutions_batch(
     return bounds
 
 
+def solve_class_label(big: int, use_constraint: bool) -> str:
+    """Human-readable label of one SDP template shape (a *solve class*).
+
+    ``big`` is the template's embedded block dimension; constrained and
+    unconstrained problems of the same dimension instantiate different
+    templates and therefore cost differently, so they are distinct classes.
+    """
+    return f"dim{big}_{'constrained' if use_constraint else 'unconstrained'}"
+
+
 def constrained_diamond_norms_batch(
     requests: list[tuple[np.ndarray, np.ndarray | None, float]],
     *,
     config: SDPConfig | None = None,
+    timing_events: list | None = None,
 ) -> list[DiamondNormBound]:
     """Certified bounds for many constrained diamond norms, solved in lock-step.
 
@@ -530,6 +545,12 @@ def constrained_diamond_norms_batch(
     dual certificate, and :func:`constrained_diamond_norm` is a batch of one
     through this same code, so batched and one-at-a-time results are
     bit-identical.
+
+    ``timing_events``, when given, receives one
+    ``{"solve_class", "count", "seconds"}`` dict per template group — the
+    per-solve-class timing record persisted with job outcomes.  Timing only
+    observes the clock around each group; it never regroups or reorders the
+    batch, so instrumented solves stay bit-identical to bare ones.
     """
     config = config or SDPConfig()
     config.validate()
@@ -550,24 +571,43 @@ def constrained_diamond_norms_batch(
 
     for (big, use_constraint), indices in groups.items():
         group = [prepared[i] for i in indices]
+        label = solve_class_label(big, use_constraint)
+        group_start = time.perf_counter()
         results = None
         packed_problems = None
         if solve:
             template = _get_template(big, use_constraint)
-            packed_problems = template.instantiate_batch(
-                [p.scaled_choi for p in group],
-                [p.operator for p in group],
-                [p.bound_c for p in group],
-            )
-            results = admm_solve_packed_batch(
-                packed_problems,
-                max_iterations=config.max_iterations,
-                tolerance=config.tolerance,
-            )
-        for request_index, bound in zip(
-            indices, _certify_solutions_batch(group, results, packed_problems)
-        ):
+            with span("sdp.instantiate", "sdp", solve_class=label, count=len(group)):
+                packed_problems = template.instantiate_batch(
+                    [p.scaled_choi for p in group],
+                    [p.operator for p in group],
+                    [p.bound_c for p in group],
+                )
+            with span("sdp.solve", "sdp", solve_class=label, count=len(group)):
+                results = admm_solve_packed_batch(
+                    packed_problems,
+                    max_iterations=config.max_iterations,
+                    tolerance=config.tolerance,
+                )
+        with span("sdp.certify", "sdp", solve_class=label, count=len(group)):
+            certified = _certify_solutions_batch(group, results, packed_problems)
+        for request_index, bound in zip(indices, certified):
             bounds[request_index] = bound
+        group_seconds = time.perf_counter() - group_start
+        if timing_events is not None:
+            timing_events.append(
+                {"solve_class": label, "count": len(group), "seconds": group_seconds}
+            )
+        obs_metrics.histogram(
+            "repro_sdp_group_solve_seconds",
+            "Wall-clock seconds per batched SDP template group.",
+            {"solve_class": label},
+        ).observe(group_seconds)
+        obs_metrics.counter(
+            "repro_sdp_solves_total",
+            "SDP instances solved (batched), by template solve class.",
+            {"solve_class": label},
+        ).inc(len(group))
     return bounds  # type: ignore[return-value]
 
 
@@ -896,6 +936,7 @@ def gate_error_bounds_batch(
     *,
     noise_after_gate: bool = True,
     config: SDPConfig | None = None,
+    timing_events: list | None = None,
 ) -> list[DiamondNormBound]:
     """Certified bounds for many noisy gate applications, solved in lock-step.
 
@@ -920,15 +961,18 @@ def gate_error_bounds_batch(
             raise SDPError("delta must be non-negative")
         noisy.append((index, float(delta)))
         reduction_inputs.append((gate_matrix, noise_channel, rho_local))
-    reduced = _reduced_gate_problems_batch(
-        reduction_inputs, noise_after_gate=noise_after_gate
-    )
+    with span("sdp.reduce", "sdp", count=len(reduction_inputs)):
+        reduced = _reduced_gate_problems_batch(
+            reduction_inputs, noise_after_gate=noise_after_gate
+        )
     requests: list[tuple[np.ndarray, np.ndarray | None, float]] = []
     request_positions: list[int] = []
     for (index, delta), (diff_choi, sigma) in zip(noisy, reduced):
         requests.append((diff_choi, sigma, rho_delta_constraint_bound(sigma, delta)))
         request_positions.append(index)
-    solved = constrained_diamond_norms_batch(requests, config=config)
+    solved = constrained_diamond_norms_batch(
+        requests, config=config, timing_events=timing_events
+    )
     for position, bound in zip(request_positions, solved):
         bounds[position] = bound
     return bounds  # type: ignore[return-value]
