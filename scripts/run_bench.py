@@ -14,7 +14,9 @@ Usage:
                                            # or if the whole-outcome warm path
                                            # re-executes anything, diverges
                                            # from cold, or drops below its
-                                           # 50x speedup floor
+                                           # 50x speedup floor, or if cross-job
+                                           # batch fusion diverges / drops
+                                           # below its 2x throughput floor
     python scripts/run_bench.py --warm     # warm-cache mode: pre-populate the
                                            # persistent bound cache via the
                                            # engine and report cold vs warm
@@ -176,6 +178,15 @@ def run_engine() -> int:
         f"bit-identical: {outcome['bit_identical']}, "
         f"certificates re-verified: {outcome['certificates_reverified']})"
     )
+    fusion = payload["cross_job_fusion"]
+    print(
+        f"cross-job fusion ({fusion['jobs']} concurrent jobs): unfused "
+        f"{fusion['unfused_seconds']:.2f}s -> fused {fusion['fused_seconds']:.2f}s "
+        f"({fusion['speedup_fused_vs_unfused']:.2f}x, "
+        f"{fusion['fused_classes']} classes fused across {fusion['fused_jobs']} jobs, "
+        f"bit-identical: {fusion['bit_identical']}, "
+        f"certificates re-verified: {fusion['certificates_reverified']})"
+    )
     bench_engine.BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {bench_engine.BASELINE_PATH}")
     return 0
@@ -231,6 +242,38 @@ def run_engine_check() -> int:
             f"REGRESSION: warm outcome path only "
             f"{outcome['speedup_warm_vs_cold']:.1f}x faster than cold "
             f"(floor {bench_engine.OUTCOME_WARM_SPEEDUP_FLOOR:.0f}x)",
+            file=sys.stderr,
+        )
+        return 1
+
+    # Cross-job batch fusion gate (live, machine-independent — a ratio):
+    # fusing the concurrent multi-job window must stay bit-identical, keep
+    # its certificates verifiable, and clear the 2x throughput floor.
+    fusion = bench_engine.measure_cross_job_fusion()
+    print(
+        f"cross-job fusion: {fusion['speedup_fused_vs_unfused']:.2f}x "
+        f"(floor {bench_engine.FUSION_SPEEDUP_FLOOR:.0f}x), "
+        f"{fusion['fused_classes']} classes fused across "
+        f"{fusion['fused_jobs']} jobs, "
+        f"bit-identical: {fusion['bit_identical']}"
+    )
+    if not fusion["bit_identical"]:
+        print("REGRESSION: fused bounds diverge from the unfused path", file=sys.stderr)
+        return 1
+    if not fusion["certificates_reverified"]:
+        print(
+            "REGRESSION: certificates no longer verify under cross-job fusion",
+            file=sys.stderr,
+        )
+        return 1
+    if fusion["fused_jobs"] == 0 or fusion["fused_classes"] == 0:
+        print("REGRESSION: the fusion window fused no cross-job work", file=sys.stderr)
+        return 1
+    if fusion["speedup_fused_vs_unfused"] < bench_engine.FUSION_SPEEDUP_FLOOR:
+        print(
+            f"REGRESSION: cross-job fusion only "
+            f"{fusion['speedup_fused_vs_unfused']:.2f}x faster than unfused "
+            f"(floor {bench_engine.FUSION_SPEEDUP_FLOOR:.0f}x)",
             file=sys.stderr,
         )
         return 1

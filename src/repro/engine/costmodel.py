@@ -1,0 +1,289 @@
+"""Per-solve-class SDP cost model and cost-aware chunk packing.
+
+The bound scheduler used to spread pending solve classes over its worker
+threads with a stride over a shape-sorted order — an even *count* per worker,
+not an even *cost*.  Template shapes differ by orders of magnitude (a dim16
+constrained problem costs far more per ADMM iteration than a dim4 one), so a
+chunk that happens to collect the large shapes finishes long after the rest.
+
+This module replaces the stride with a fitted cost model:
+
+* every batched solve records one ``{"solve_class", "count", "seconds"}``
+  event (see :func:`repro.sdp.diamond.constrained_diamond_norms_batch`), and
+  those events are persisted with each :class:`~repro.engine.spec.JobResult`
+  through the result/outcome stores — the training data;
+* :class:`SolveCostModel` fits, per solve class, ``seconds ≈ setup +
+  per_instance · count`` by least squares over the observed events (with a
+  total-ratio fallback when the counts do not vary enough to identify an
+  intercept);
+* classes never seen before fall back to a **dim³ prior**: ADMM iteration
+  cost is dominated by dense eigendecompositions of the ``big``-dimensional
+  blocks, so predicted seconds scale as ``big**3`` parsed from the class
+  label (``dim16_constrained`` → 16³) — only the *relative* ordering matters
+  for packing, so the prior's absolute scale is inconsequential;
+* :func:`lpt_pack` packs items into worker bins by predicted cost
+  (longest-processing-time-first greedy), which is deterministic under fixed
+  costs and keeps the makespan within 4/3 of optimal.
+
+The packing only chooses *which thread solves which class*; per-element
+bounds are independent of batch composition (the documented property of the
+batched kernel), so any packing yields bit-identical certified bounds.
+
+A process-wide model instance (:func:`global_model`) accumulates
+observations across analyses: the scheduler feeds it after every batched
+solve phase and the engine warms it from an attached result store, so the
+second batch of a serving process already packs by measured costs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import threading
+
+__all__ = [
+    "ClassCoefficients",
+    "SolveCostModel",
+    "COLD_PRIOR_SECONDS_PER_DIM3",
+    "PREDICTION_ERROR_BUCKETS",
+    "global_model",
+    "reset_global_model",
+    "lpt_pack",
+    "parse_label_big",
+]
+
+
+#: Prior seconds per instance per unit of ``big³`` for never-observed classes.
+#: Only the big³ *shape* matters (packing compares predictions against each
+#: other); the absolute scale is a rough fit of the batched ADMM kernel on a
+#: commodity core.
+COLD_PRIOR_SECONDS_PER_DIM3 = 2e-6
+
+#: ``big`` assumed when a class label does not parse (foreign labels keep a
+#: small positive cost instead of breaking the packing).
+_FALLBACK_BIG = 4
+
+#: Histogram buckets for the predicted-vs-actual *relative error* of the
+#: model (``|predicted - actual| / actual``).  The registry's default
+#: buckets are latency-shaped; a ratio needs its own grid.
+PREDICTION_ERROR_BUCKETS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0)
+
+#: Observations retained per class (oldest dropped beyond this); enough for
+#: a stable fit without unbounded growth in long-lived serving processes.
+_MAX_OBSERVATIONS_PER_CLASS = 512
+
+_LABEL_RE = re.compile(r"^dim(\d+)_(constrained|unconstrained)$")
+
+
+def parse_label_big(label: str) -> int:
+    """The template dimension ``big`` encoded in a solve-class label.
+
+    Labels come from :func:`repro.sdp.diamond.solve_class_label`
+    (``dim{big}_{constrained|unconstrained}``); anything else gets the
+    fallback dimension so the prior stays positive.
+    """
+    match = _LABEL_RE.match(str(label))
+    if match is None:
+        return _FALLBACK_BIG
+    return max(1, int(match.group(1)))
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassCoefficients:
+    """Fitted (or prior) cost coefficients of one solve class.
+
+    ``seconds ≈ setup_seconds + per_instance_seconds * count``.  ``source``
+    records how the numbers were obtained: ``"fitted"`` (least squares over
+    varied counts), ``"ratio"`` (total seconds / total count — counts did
+    not vary enough to identify an intercept), or ``"prior"`` (the cold dim³
+    fallback, zero observations).
+    """
+
+    setup_seconds: float
+    per_instance_seconds: float
+    observations: int
+    source: str
+
+    def predict(self, count: int) -> float:
+        return self.setup_seconds + self.per_instance_seconds * max(0, int(count))
+
+    def to_json_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def _prior_coefficients(label: str) -> ClassCoefficients:
+    big = parse_label_big(label)
+    return ClassCoefficients(
+        setup_seconds=0.0,
+        per_instance_seconds=COLD_PRIOR_SECONDS_PER_DIM3 * float(big) ** 3,
+        observations=0,
+        source="prior",
+    )
+
+
+class SolveCostModel:
+    """Predict per-solve-class seconds from recorded timing events.
+
+    Thread-safe: the scheduler's worker threads observe concurrently with
+    the engine thread reading coefficients.  Fits are computed lazily and
+    cached until the next observation of that class.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: dict[str, list[tuple[int, float]]] = {}
+        self._fits: dict[str, ClassCoefficients] = {}
+
+    # -- training ------------------------------------------------------------
+    def observe(self, label: str, count: int, seconds: float) -> None:
+        """Record one solved template group (one timing event)."""
+        count = int(count)
+        seconds = float(seconds)
+        if count <= 0 or seconds < 0.0:
+            return
+        with self._lock:
+            events = self._events.setdefault(str(label), [])
+            events.append((count, seconds))
+            if len(events) > _MAX_OBSERVATIONS_PER_CLASS:
+                del events[: len(events) - _MAX_OBSERVATIONS_PER_CLASS]
+            self._fits.pop(str(label), None)
+
+    def observe_events(self, events) -> None:
+        """Record a batch of ``{"solve_class", "count", "seconds"}`` events."""
+        for event in events or ():
+            try:
+                self.observe(event["solve_class"], event["count"], event["seconds"])
+            except (KeyError, TypeError, ValueError):
+                continue  # foreign/legacy event shapes train nothing
+
+    def ingest_timings(self, timings: dict | None) -> None:
+        """Train from one :class:`~repro.engine.spec.JobResult` timings dict."""
+        if isinstance(timings, dict):
+            self.observe_events(timings.get("solve_classes"))
+
+    def warm_from_results(self, results) -> int:
+        """Train from stored job results (e.g. ``ResultStore.results().values()``).
+
+        Returns the number of results that carried solve-class events — the
+        cold-start path of a resumed serving process.
+        """
+        warmed = 0
+        for result in results:
+            timings = getattr(result, "timings", None)
+            if isinstance(timings, dict) and timings.get("solve_classes"):
+                self.ingest_timings(timings)
+                warmed += 1
+        return warmed
+
+    # -- prediction ----------------------------------------------------------
+    def _fit(self, label: str) -> ClassCoefficients:
+        events = self._events.get(label)
+        if not events:
+            return _prior_coefficients(label)
+        total_count = sum(count for count, _ in events)
+        total_seconds = sum(seconds for _, seconds in events)
+        ratio = ClassCoefficients(
+            setup_seconds=0.0,
+            per_instance_seconds=total_seconds / max(total_count, 1),
+            observations=len(events),
+            source="ratio",
+        )
+        counts = {count for count, _ in events}
+        if len(events) < 2 or len(counts) < 2:
+            return ratio
+        # Least squares for seconds = setup + per_instance * count.  Closed
+        # form (no numpy import: this module must stay importable from the
+        # scheduler without pulling the SDP stack).
+        n = float(len(events))
+        sum_c = float(sum(count for count, _ in events))
+        sum_s = float(total_seconds)
+        sum_cc = float(sum(count * count for count, _ in events))
+        sum_cs = float(sum(count * seconds for count, seconds in events))
+        denominator = n * sum_cc - sum_c * sum_c
+        if denominator <= 0.0:
+            return ratio
+        slope = (n * sum_cs - sum_c * sum_s) / denominator
+        intercept = (sum_s - slope * sum_c) / n
+        if slope <= 0.0 or intercept < 0.0:
+            # A non-physical fit (negative marginal cost, or negative setup
+            # from noise) packs worse than the plain ratio.
+            return ratio
+        return ClassCoefficients(
+            setup_seconds=intercept,
+            per_instance_seconds=slope,
+            observations=len(events),
+            source="fitted",
+        )
+
+    def coefficients_for(self, label: str) -> ClassCoefficients:
+        """The current coefficients of one class (fitting lazily)."""
+        label = str(label)
+        with self._lock:
+            cached = self._fits.get(label)
+            if cached is None:
+                cached = self._fit(label)
+                if cached.source != "prior":
+                    self._fits[label] = cached
+            return cached
+
+    def predict(self, label: str, count: int = 1) -> float:
+        """Predicted wall-clock seconds to solve ``count`` instances of a class."""
+        return self.coefficients_for(label).predict(count)
+
+    def coefficients(self) -> dict[str, dict]:
+        """Every observed class's coefficients (for ``stats()``/metrics)."""
+        with self._lock:
+            labels = sorted(self._events)
+        return {label: self.coefficients_for(label).to_json_dict() for label in labels}
+
+
+# ---------------------------------------------------------------------------
+# Process-wide model
+# ---------------------------------------------------------------------------
+
+_GLOBAL_MODEL = SolveCostModel()
+_GLOBAL_LOCK = threading.Lock()
+
+
+def global_model() -> SolveCostModel:
+    """The process-wide cost model shared by scheduler and engine."""
+    return _GLOBAL_MODEL
+
+
+def reset_global_model() -> SolveCostModel:
+    """Replace the process-wide model with a fresh one (tests)."""
+    global _GLOBAL_MODEL
+    with _GLOBAL_LOCK:
+        _GLOBAL_MODEL = SolveCostModel()
+    return _GLOBAL_MODEL
+
+
+# ---------------------------------------------------------------------------
+# Packing
+# ---------------------------------------------------------------------------
+
+def lpt_pack(costs: list[float], bins: int) -> list[list[int]]:
+    """Pack item indices into ``bins`` lists by longest-processing-time first.
+
+    Items are taken in decreasing cost (ties broken by index, so the packing
+    is deterministic under fixed costs) and each is assigned to the currently
+    least-loaded bin (ties again by bin index).  Every index appears in
+    exactly one bin; with ``len(costs) >= bins`` every bin is non-empty.
+    Within a bin, indices are returned ascending — callers preserve their
+    collection order inside each chunk.
+    """
+    bins = max(1, int(bins))
+    packed: list[list[int]] = [[] for _ in range(bins)]
+    if not costs:
+        return packed
+    loads = [0.0] * bins
+    order = sorted(range(len(costs)), key=lambda index: (-float(costs[index]), index))
+    for index in order:
+        target = min(range(bins), key=lambda b: (loads[b], b))
+        packed[target].append(index)
+        # A zero-cost floor keeps degenerate (all-zero) predictions spreading
+        # round-robin instead of piling into bin 0.
+        loads[target] += max(float(costs[index]), 1e-12)
+    for chunk in packed:
+        chunk.sort()
+    return packed

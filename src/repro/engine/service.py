@@ -331,6 +331,19 @@ class AnalysisService:
                 "Tracked job status entries, by status.",
                 {"status": status},
             ).set(count)
+        coefficients = (stats["engine"].get("costmodel") or {}).get("coefficients") or {}
+        for solve_class, fitted in coefficients.items():
+            labels = {"solve_class": solve_class, "source": fitted["source"]}
+            registry.gauge(
+                "repro_costmodel_per_instance_seconds",
+                "Fitted marginal seconds per SDP instance, by solve class.",
+                labels,
+            ).set(fitted["per_instance_seconds"])
+            registry.gauge(
+                "repro_costmodel_setup_seconds",
+                "Fitted per-group setup seconds, by solve class.",
+                labels,
+            ).set(fitted["setup_seconds"])
         return registry.render_prometheus()
 
     # -- waiting -----------------------------------------------------------
@@ -687,6 +700,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--max-submit", type=int, default=1024, help="max jobs in one POST /v1/batches"
     )
+    parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=0.0,
+        help="cross-job SDP fusion window in milliseconds (0 disables fusion)",
+    )
+    parser.add_argument(
+        "--batch-window-max-classes",
+        type=int,
+        default=4096,
+        help="max solve classes pooled by one fusion window",
+    )
     return parser
 
 
@@ -701,6 +726,8 @@ def main(argv: list[str] | None = None) -> int:
             if args.outcomes
             else None
         ),
+        batch_window_ms=args.batch_window_ms,
+        batch_window_max_classes=args.batch_window_max_classes,
     )
     service = AnalysisService(
         engine,

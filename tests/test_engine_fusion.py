@@ -1,0 +1,162 @@
+"""Tests for cross-job SDP batch fusion and cost-aware timing attribution.
+
+The fusion window pre-solves the union of the pending jobs' solve classes as
+one batched kernel run and parks the bounds in a shared persistent cache;
+executing jobs then warm-hit exact entries.  The properties under test are
+the contract of the feature: bit-identical bounds, re-verifiable stored
+certificates, and zero residual SDP solves on the fused path.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from helpers import random_circuit
+
+from repro.api import AnalysisSession
+from repro.circuits.program import Seq
+from repro.config import AnalysisConfig, SDPConfig
+from repro.core.scheduler import clear_tape_memo
+from repro.engine.costmodel import reset_global_model
+from repro.engine.outcomes import OutcomeStore
+from repro.engine.pool import AnalysisEngine
+from repro.engine.spec import AnalysisJob
+from repro.errors import EngineError
+from repro.noise import NoiseModel
+
+FAST = AnalysisConfig(mps_width=4, sdp=SDPConfig(max_iterations=200, tolerance=1e-4))
+MODEL = NoiseModel.uniform_bit_flip(1e-3)
+
+#: Effectively unbounded window: every pending job is admitted, so the tests
+#: exercise the fusion path itself rather than the latency knob.
+WIDE_WINDOW_MS = 10_000.0
+
+
+@pytest.fixture(autouse=True)
+def _fresh_process_state():
+    """Neither leg of a fused-vs-unfused comparison may inherit warmth."""
+    clear_tape_memo()
+    reset_global_model()
+    yield
+    clear_tape_memo()
+    reset_global_model()
+
+
+def prefix_jobs(seed: int, num_gates: int = 12, fractions=(0.5, 1.0)) -> list[AnalysisJob]:
+    """Prefix truncations of one random circuit: distinct jobs (distinct
+    fingerprints, no engine dedupe) whose shared prefix guarantees
+    overlapping quantised solve classes — the cross-job fusion workload."""
+    circuit = random_circuit(3, num_gates, seed=seed)
+    program = circuit.to_program()
+    parts = list(program.parts) if isinstance(program, Seq) else [program]
+    jobs = []
+    for fraction in fractions:
+        keep = max(1, int(len(parts) * fraction))
+        jobs.append(
+            AnalysisJob(
+                program=Seq(tuple(parts[:keep])),
+                noise_model=MODEL,
+                config=FAST,
+                num_qubits=circuit.num_qubits,
+                name=f"prefix{keep}",
+            )
+        )
+    return jobs
+
+
+def run_leg(jobs: list[AnalysisJob], batch_window_ms: float) -> dict:
+    clear_tape_memo()
+    reset_global_model()
+    with tempfile.TemporaryDirectory(prefix="test-fusion-") as tmp:
+        path = os.path.join(tmp, "outcomes.jsonl")
+        engine = AnalysisEngine(workers=1, outcomes=path, batch_window_ms=batch_window_ms)
+        report = engine.run(jobs)
+        assert report.ok
+        store = OutcomeStore(path)
+        return {
+            "bounds": [result.error_bound for result in report.results],
+            "sdp_solves": sum(result.sdp_solves for result in report.results),
+            "certificates_reverified": all(
+                store.get(job.fingerprint(), verify=True) is not None for job in jobs
+            ),
+            "fusion": engine.stats()["fusion"],
+        }
+
+
+class TestFusedBitIdentity:
+    @settings(max_examples=3, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_fused_bounds_bit_identical_and_certificates_verify(self, seed):
+        jobs = prefix_jobs(seed)
+        unfused = run_leg(jobs, 0.0)
+        fused = run_leg(jobs, WIDE_WINDOW_MS)
+        assert fused["bounds"] == unfused["bounds"]
+        assert unfused["certificates_reverified"]
+        assert fused["certificates_reverified"]
+        # Every executing job warm-hits the fused cache: no residual solves.
+        assert fused["sdp_solves"] == 0
+        assert unfused["sdp_solves"] > 0
+        assert fused["fusion"]["fused_jobs"] == len(jobs)
+        assert fused["fusion"]["fused_classes"] > 0
+
+    def test_fusion_counts_windows_and_groups(self):
+        jobs = prefix_jobs(seed=7)
+        fused = run_leg(jobs, WIDE_WINDOW_MS)
+        stats = fused["fusion"]
+        assert stats["windows"] == 1
+        assert stats["fused_groups"] >= 1
+        assert stats["solve_seconds"] > 0.0
+
+
+class TestFusionGating:
+    def test_zero_window_disables_fusion(self):
+        jobs = prefix_jobs(seed=3)
+        result = run_leg(jobs, 0.0)
+        assert result["fusion"]["windows"] == 0
+        assert result["fusion"]["fused_jobs"] == 0
+        assert result["sdp_solves"] > 0
+
+    def test_single_job_batch_never_fuses(self):
+        jobs = prefix_jobs(seed=3, fractions=(1.0,))
+        result = run_leg(jobs, WIDE_WINDOW_MS)
+        assert result["fusion"]["windows"] == 0
+        assert result["fusion"]["fused_jobs"] == 0
+
+    def test_window_knobs_are_validated(self):
+        with pytest.raises(ValueError):
+            AnalysisEngine(workers=1, batch_window_ms=-1.0)
+        with pytest.raises(ValueError):
+            AnalysisEngine(workers=1, batch_window_max_classes=0)
+
+    def test_stats_expose_window_and_costmodel(self):
+        engine = AnalysisEngine(workers=1, batch_window_ms=5.0, batch_window_max_classes=7)
+        stats = engine.stats()
+        assert stats["fusion"]["batch_window_ms"] == 5.0
+        assert stats["fusion"]["batch_window_max_classes"] == 7
+        assert "coefficients" in stats["costmodel"]
+
+    def test_remote_sessions_reject_the_fusion_window(self):
+        with pytest.raises(EngineError):
+            AnalysisSession(remote="http://127.0.0.1:1", batch_window_ms=5.0)
+
+
+class TestTimingAttribution:
+    """solve_timings events carry worker/chunk attribution and a prediction."""
+
+    def test_events_record_worker_chunk_and_prediction(self):
+        jobs = prefix_jobs(seed=11, fractions=(1.0,))
+        report = AnalysisEngine(workers=1).run(jobs)
+        assert report.ok
+        events = (report.results[0].timings or {}).get("solve_classes")
+        assert events
+        for event in events:
+            assert event["count"] >= 1
+            assert event["seconds"] >= 0.0
+            assert isinstance(event["worker"], int) and event["worker"] >= 0
+            assert event["chunk"] == event["worker"]
+            assert event["predicted_seconds"] >= 0.0
