@@ -278,6 +278,10 @@ class AnalysisSession:
                     "batch_window_ms to the server; configure those on "
                     "gleipnir-serve instead"
                 )
+            if isinstance(remote, str) and "," in remote:
+                # A comma-separated list names a sharded replica deployment
+                # (in shard order); the Client routes by fingerprint.
+                remote = [url.strip() for url in remote.split(",") if url.strip()]
             self._client: Client | None = client or Client(remote)
             self._engine: AnalysisEngine | None = None
         else:
@@ -667,7 +671,9 @@ def add_session_arguments(parser: argparse.ArgumentParser) -> None:
         "--remote",
         type=str,
         default=None,
-        help="submit to a running gleipnir-serve at this URL instead of running locally",
+        help="submit to a running gleipnir-serve at this URL instead of running "
+        "locally; a comma-separated list of replica URLs (in shard order) "
+        "enables client-side fingerprint sharding",
     )
     group.add_argument(
         "--trace",

@@ -1,0 +1,190 @@
+"""Backend protocols and URL-style backend selection.
+
+A *backend* is the storage engine behind one of the two persistence facades:
+
+* :class:`ResultBackend` holds the latest :class:`~repro.engine.spec.JobResult`
+  per fingerprint (the resumable sweep log behind
+  :class:`~repro.engine.store.ResultStore`);
+* :class:`OutcomeBackend` holds whole outcome *entries* — a successful result
+  plus the raw (wire-dict) dual certificates behind it, in recency order —
+  behind :class:`~repro.engine.outcomes.OutcomeStore`.
+
+The facades own policy (locking, LRU caps, pinning, certificate verification,
+hit/miss accounting); backends own mechanism (how bytes reach disk, how
+recency is tracked, what eviction and compaction mean for that medium).
+Backends therefore do **not** need to be thread-safe: every call arrives
+under the owning facade's lock.
+
+Backends are selected by URL-style paths on the existing ``--store`` /
+``--outcomes`` flags:
+
+================  =====================================================
+URL               backend
+================  =====================================================
+``results.jsonl``  JSONL file (bare paths keep their historical meaning)
+``jsonl://p``      JSONL file at ``p`` (explicit form)
+``sqlite:///p``    SQLite database at relative path ``p`` (WAL mode)
+``sqlite:////p``   SQLite database at absolute path ``/p``
+``memory://``      fresh private in-memory backend
+``memory://name``  process-wide shared in-memory backend called ``name``
+================  =====================================================
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable
+
+from ...errors import EngineError
+from ...obs import metrics as obs_metrics
+from ..spec import JobResult
+
+__all__ = [
+    "OutcomeBackend",
+    "ResultBackend",
+    "count_backend_op",
+    "parse_storage_url",
+]
+
+
+def parse_storage_url(url: str) -> tuple[str, str]:
+    """Split a storage URL into ``(scheme, location)``.
+
+    Bare paths (no recognised scheme) are JSONL, which keeps every
+    pre-backend ``--store results.jsonl`` invocation meaning exactly what it
+    always did.  ``sqlite://`` follows the SQLAlchemy convention: three
+    slashes for a relative path, four for an absolute one.
+    """
+    url = str(url)
+    if url.startswith("memory://"):
+        return "memory", url[len("memory://") :]
+    if url.startswith("sqlite://"):
+        location = url[len("sqlite://") :]
+        if location.startswith("/"):
+            location = location[1:]
+        if not location:
+            raise EngineError(
+                "sqlite:// URLs need a database path, e.g. sqlite:///results.db"
+            )
+        return "sqlite", location
+    if url.startswith("jsonl://"):
+        location = url[len("jsonl://") :]
+        if not location:
+            raise EngineError("jsonl:// URLs need a file path, e.g. jsonl://results.jsonl")
+        return "jsonl", location
+    if "://" in url:
+        scheme = url.split("://", 1)[0]
+        raise EngineError(
+            f"unknown storage backend scheme {scheme!r} "
+            "(supported: jsonl://, sqlite://, memory://, or a bare JSONL path)"
+        )
+    return "jsonl", url
+
+
+def count_backend_op(backend: str, op: str) -> None:
+    """One backend operation into the metric registry."""
+    obs_metrics.counter(
+        "repro_backend_ops_total",
+        "Storage backend operations, by backend scheme and operation.",
+        {"backend": backend, "op": op},
+    ).inc()
+
+
+class ResultBackend(abc.ABC):
+    """Storage engine behind :class:`~repro.engine.store.ResultStore`.
+
+    Calls arrive serialized (the facade holds its lock); implementations own
+    durability and the later-lines-win / latest-record-wins semantics.
+    """
+
+    #: Backend scheme label used in ``repro_backend_ops_total``.
+    name: str = "abstract"
+    #: Human-readable storage location (file path, database path, or tag).
+    location: str = ""
+
+    @abc.abstractmethod
+    def get(self, fingerprint: str) -> JobResult | None:
+        """The latest result recorded for ``fingerprint``, or None."""
+
+    @abc.abstractmethod
+    def contains(self, fingerprint: str) -> bool:
+        """Whether any result is recorded for ``fingerprint``."""
+
+    @abc.abstractmethod
+    def count(self) -> int:
+        """Number of fingerprints with a recorded result."""
+
+    @abc.abstractmethod
+    def results(self) -> dict[str, JobResult]:
+        """The full latest-result-per-fingerprint map.
+
+        May materialise every record; callers treat it as a snapshot, not a
+        hot-path primitive.
+        """
+
+    @abc.abstractmethod
+    def put_many(self, results: Iterable[JobResult]) -> None:
+        """Durably record results; later writes supersede earlier ones."""
+
+    @property
+    def skipped_lines(self) -> int:
+        """Unparseable records tolerated at load (0 for structured backends)."""
+        return 0
+
+    def close(self) -> None:
+        """Release held resources (connections, registry references)."""
+
+
+class OutcomeBackend(abc.ABC):
+    """Storage engine behind :class:`~repro.engine.outcomes.OutcomeStore`.
+
+    An *entry* is ``{"result": JobResult, "certificates": [raw dict, ...]}``
+    — certificates stay in their wire form so the blind-lookup hot path never
+    pays base64 decoding.  Backends track recency (a ``get_entry`` with
+    ``touch=True`` makes the entry most-recent) so the facade's LRU policy
+    works without the backend knowing the cap.
+    """
+
+    name: str = "abstract"
+    location: str = ""
+
+    @abc.abstractmethod
+    def get_entry(self, fingerprint: str, *, touch: bool = True) -> dict | None:
+        """The stored entry for ``fingerprint`` (refreshing recency), or None."""
+
+    @abc.abstractmethod
+    def put_entry(
+        self, fingerprint: str, result: JobResult, certificates: list[dict]
+    ) -> None:
+        """Durably record one entry as the most recent; later puts win."""
+
+    @abc.abstractmethod
+    def delete(self, fingerprint: str) -> bool:
+        """Drop one entry (failed verification); True when it existed."""
+
+    @abc.abstractmethod
+    def evict_lru(self, max_entries: int, pinned: frozenset[str]) -> int:
+        """Evict least-recently-used unpinned entries down to ``max_entries``.
+
+        Returns the number evicted.  Pinned fingerprints are skipped, so the
+        store may transiently stay over the cap until pins are released.
+        """
+
+    @abc.abstractmethod
+    def count(self) -> int:
+        """Number of live entries."""
+
+    @abc.abstractmethod
+    def contains(self, fingerprint: str) -> bool:
+        """Whether a live entry exists for ``fingerprint``."""
+
+    @property
+    def skipped_lines(self) -> int:
+        """Unparseable records tolerated at load (0 for structured backends)."""
+        return 0
+
+    def compact(self) -> None:
+        """Reclaim dead storage if the medium accumulates any (no-op default)."""
+
+    def close(self) -> None:
+        """Release held resources (connections, registry references)."""

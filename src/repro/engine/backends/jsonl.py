@@ -1,0 +1,235 @@
+"""The JSONL backends: append-only line logs with healing and compaction.
+
+These carry the exact on-disk discipline the pre-backend stores had, so every
+existing ``results.jsonl`` / ``outcomes.jsonl`` file keeps loading:
+
+* one record per line, appends are single ``write`` calls followed by one
+  flush + fsync, so a kill leaves at worst one truncated trailing line;
+* the loader skips unparseable lines (``skipped_lines`` counts them) and the
+  next append heals a missing trailing newline before writing;
+* later lines win, so re-recording a fingerprint supersedes its old record;
+* the outcome log is compacted (atomic temp-file rewrite + ``os.replace``)
+  once dead lines outnumber live entries 2:1.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Iterable
+
+from ...errors import EngineError
+from ..spec import JobResult, canonical_json
+from .base import OutcomeBackend, ResultBackend
+
+__all__ = ["JsonlOutcomeBackend", "JsonlResultBackend"]
+
+#: Schema version of one outcome record; bump on incompatible format changes.
+OUTCOME_SCHEMA_VERSION = 1
+
+
+class _JsonlLog:
+    """Shared line-log mechanics: load, heal, append, atomic rewrite."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self.skipped_lines = 0
+        self.file_lines = 0
+        self.needs_newline = False
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+
+    def lines(self) -> list[str]:
+        """Every non-empty line currently on disk (sets the healing flag)."""
+        self.needs_newline = False
+        if not os.path.exists(self.path):
+            return []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            content = handle.read()
+        # A kill can leave the file without a trailing newline; the next
+        # append must not concatenate onto the truncated record.
+        self.needs_newline = bool(content) and not content.endswith("\n")
+        return [line.strip() for line in content.splitlines() if line.strip()]
+
+    def append(self, lines: list[str]) -> None:
+        """One durable append: a single write, one flush, one fsync."""
+        payload = "".join(line + "\n" for line in lines)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            if self.needs_newline:
+                payload = "\n" + payload
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+            # Only after the healing newline is durably on disk: a failed
+            # write must leave the flag set so a retry still heals the
+            # truncated tail instead of gluing onto it.
+            self.needs_newline = False
+        self.file_lines += len(lines)
+
+    def rewrite(self, lines: Iterable[str]) -> None:
+        """Atomically replace the log: temp file + fsync + ``os.replace``.
+
+        A kill mid-rewrite leaves either the old log or the new one, never a
+        mix.
+        """
+        tmp_path = self.path + ".compact"
+        count = 0
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+                count += 1
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+        self.file_lines = count
+        self.needs_newline = False
+
+
+class JsonlResultBackend(ResultBackend):
+    """JSONL-backed latest-result-per-fingerprint map (fully in memory)."""
+
+    name = "jsonl"
+
+    def __init__(self, path: str):
+        self.location = str(path)
+        self._log = _JsonlLog(path)
+        self._results: dict[str, JobResult] = {}
+        for line in self._log.lines():
+            self._log.file_lines += 1
+            try:
+                result = JobResult.from_json_dict(json.loads(line))
+            except (json.JSONDecodeError, EngineError):
+                # Truncated trailing line after a kill, or foreign junk:
+                # skip rather than fail the whole sweep.
+                self._log.skipped_lines += 1
+                continue
+            self._results[result.fingerprint] = result
+
+    @property
+    def skipped_lines(self) -> int:
+        return self._log.skipped_lines
+
+    def get(self, fingerprint: str) -> JobResult | None:
+        return self._results.get(fingerprint)
+
+    def contains(self, fingerprint: str) -> bool:
+        return fingerprint in self._results
+
+    def count(self) -> int:
+        return len(self._results)
+
+    def results(self) -> dict[str, JobResult]:
+        return dict(self._results)
+
+    def put_many(self, results: Iterable[JobResult]) -> None:
+        results = list(results)
+        lines = [canonical_json(result.to_json_dict()) for result in results]
+        self._log.append(lines)
+        for result in results:
+            self._results[result.fingerprint] = result
+
+
+def outcome_record_line(result: JobResult, certificates: list[dict]) -> str:
+    """One serialized outcome record (shared by append and compaction)."""
+    return canonical_json(
+        {
+            "version": OUTCOME_SCHEMA_VERSION,
+            "kind": "analysis_outcome",
+            "result": result.to_json_dict(),
+            "certificates": certificates,
+        }
+    )
+
+
+def entry_from_outcome_record(record: dict) -> dict:
+    """Validate one parsed outcome record into a live entry.
+
+    Shared with the SQLite backend, which stores the same record shape one
+    row per fingerprint.
+    """
+    if not isinstance(record, dict):
+        raise EngineError("outcome record must be a dict")
+    if record.get("kind") != "analysis_outcome":
+        raise EngineError(f"not an outcome record: kind={record.get('kind')!r}")
+    if record.get("version") != OUTCOME_SCHEMA_VERSION:
+        raise EngineError(f"unsupported outcome schema {record.get('version')!r}")
+    result = JobResult.from_json_dict(record.get("result") or {})
+    if not result.ok or not result.fingerprint:
+        raise EngineError("outcome records must carry a successful result")
+    certificates = record.get("certificates") or []
+    if not isinstance(certificates, list):
+        raise EngineError("certificates must be a list")
+    return {"result": result, "certificates": certificates}
+
+
+class JsonlOutcomeBackend(OutcomeBackend):
+    """JSONL-backed outcome entries; dict insertion order doubles as recency."""
+
+    name = "jsonl"
+
+    def __init__(self, path: str):
+        self.location = str(path)
+        self._log = _JsonlLog(path)
+        # fingerprint -> {"result": JobResult, "certificates": [raw dict, ...]}
+        # Insertion order doubles as recency order (hits re-insert at the end).
+        self._entries: dict[str, dict] = {}
+        for line in self._log.lines():
+            self._log.file_lines += 1
+            try:
+                entry = entry_from_outcome_record(json.loads(line))
+            except (json.JSONDecodeError, EngineError):
+                # Truncated trailing line after a kill, or foreign junk:
+                # skip rather than fail the whole store.
+                self._log.skipped_lines += 1
+                continue
+            fingerprint = entry["result"].fingerprint
+            self._entries.pop(fingerprint, None)  # later lines win, LRU-fresh
+            self._entries[fingerprint] = entry
+
+    @property
+    def skipped_lines(self) -> int:
+        return self._log.skipped_lines
+
+    def get_entry(self, fingerprint: str, *, touch: bool = True) -> dict | None:
+        entry = self._entries.get(fingerprint)
+        if entry is not None and touch:
+            self._entries.pop(fingerprint, None)
+            self._entries[fingerprint] = entry
+        return entry
+
+    def put_entry(
+        self, fingerprint: str, result: JobResult, certificates: list[dict]
+    ) -> None:
+        self._log.append([outcome_record_line(result, certificates)])
+        self._entries.pop(fingerprint, None)
+        self._entries[fingerprint] = {"result": result, "certificates": certificates}
+
+    def delete(self, fingerprint: str) -> bool:
+        return self._entries.pop(fingerprint, None) is not None
+
+    def evict_lru(self, max_entries: int, pinned: frozenset[str]) -> int:
+        evicted = 0
+        for fingerprint in list(self._entries):
+            if len(self._entries) <= max_entries:
+                break
+            if fingerprint in pinned:
+                continue
+            del self._entries[fingerprint]
+            evicted += 1
+        return evicted
+
+    def count(self) -> int:
+        return len(self._entries)
+
+    def contains(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def compact(self) -> None:
+        """Rewrite the log when dead lines outnumber live entries 2:1."""
+        live = len(self._entries)
+        if self._log.file_lines <= max(2 * live, live + 64):
+            return
+        self._log.rewrite(
+            outcome_record_line(entry["result"], entry["certificates"])
+            for entry in self._entries.values()
+        )

@@ -1,0 +1,237 @@
+"""The SQLite backends: WAL-journaled stores that never load fully into memory.
+
+Every lookup is a point query and every write is one transaction, so a
+service fronting a store of millions of outcomes starts instantly and keeps a
+bounded resident set — the JSONL backends' load-everything-at-init cost is
+exactly what this backend removes.  ``PRAGMA journal_mode=WAL`` lets
+concurrent readers (other threads via their own handles, other processes,
+``sqlite3`` CLI inspection) proceed while this process appends.
+
+Durability: WAL + ``synchronous=NORMAL`` persists committed transactions
+across process crashes (the same discipline the JSONL backends' per-append
+fsync buys), and a kill mid-transaction rolls back to the previous committed
+state — structurally incapable of the torn trailing line JSONL heals around,
+which is why ``skipped_lines`` is always 0 here.
+
+Recency for the outcome LRU is a monotonically increasing ``recency`` column
+maintained under the owning facade's lock; eviction is a single indexed
+``ORDER BY recency`` scan.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from collections.abc import Iterable
+
+from ...errors import EngineError
+from ...obs import metrics as obs_metrics
+from ..spec import JobResult, canonical_json
+from .base import OutcomeBackend, ResultBackend
+from .jsonl import entry_from_outcome_record, outcome_record_line
+
+__all__ = ["SqliteOutcomeBackend", "SqliteResultBackend"]
+
+
+def _open_connections_gauge():
+    return obs_metrics.gauge(
+        "repro_backend_sqlite_open_connections",
+        "SQLite backend connections currently open in this process.",
+    )
+
+
+class _SqliteBackendMixin:
+    """Connection lifecycle shared by both SQLite backends."""
+
+    def _connect(self, path: str, schema: str) -> sqlite3.Connection:
+        self.location = str(path)
+        parent = os.path.dirname(os.path.abspath(self.location))
+        os.makedirs(parent, exist_ok=True)
+        # The owning facade serializes all access under its lock, so one
+        # connection crossing threads is safe; check_same_thread would only
+        # reject the service batcher thread writing what a handler read.
+        connection = sqlite3.connect(self.location, check_same_thread=False)
+        connection.execute("PRAGMA journal_mode=WAL")
+        connection.execute("PRAGMA synchronous=NORMAL")
+        connection.execute(schema)
+        connection.commit()
+        self._closed = False
+        _open_connections_gauge().inc()
+        return connection
+
+    def close(self) -> None:
+        if getattr(self, "_closed", True):
+            return
+        self._closed = True
+        self._connection.close()
+        _open_connections_gauge().dec()
+
+
+class SqliteResultBackend(_SqliteBackendMixin, ResultBackend):
+    """One row per fingerprint; ``INSERT OR REPLACE`` is later-lines-win."""
+
+    name = "sqlite"
+
+    _SCHEMA = (
+        "CREATE TABLE IF NOT EXISTS results ("
+        " fingerprint TEXT PRIMARY KEY,"
+        " ok INTEGER NOT NULL,"
+        " payload TEXT NOT NULL)"
+    )
+
+    def __init__(self, path: str):
+        self._connection = self._connect(path, self._SCHEMA)
+
+    def get(self, fingerprint: str) -> JobResult | None:
+        row = self._connection.execute(
+            "SELECT payload FROM results WHERE fingerprint = ?", (fingerprint,)
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            return JobResult.from_json_dict(json.loads(row[0]))
+        except (json.JSONDecodeError, EngineError) as exc:
+            raise EngineError(
+                f"corrupt result row for fingerprint {fingerprint!r}: {exc}"
+            ) from exc
+
+    def contains(self, fingerprint: str) -> bool:
+        row = self._connection.execute(
+            "SELECT 1 FROM results WHERE fingerprint = ?", (fingerprint,)
+        ).fetchone()
+        return row is not None
+
+    def count(self) -> int:
+        return int(self._connection.execute("SELECT COUNT(*) FROM results").fetchone()[0])
+
+    def results(self) -> dict[str, JobResult]:
+        snapshot: dict[str, JobResult] = {}
+        for fingerprint, payload in self._connection.execute(
+            "SELECT fingerprint, payload FROM results"
+        ):
+            try:
+                snapshot[fingerprint] = JobResult.from_json_dict(json.loads(payload))
+            except (json.JSONDecodeError, EngineError):
+                continue
+        return snapshot
+
+    def put_many(self, results: Iterable[JobResult]) -> None:
+        rows = [
+            (
+                result.fingerprint,
+                1 if result.ok else 0,
+                canonical_json(result.to_json_dict()),
+            )
+            for result in results
+        ]
+        with self._connection:  # one transaction per batch, like one fsync
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO results (fingerprint, ok, payload)"
+                " VALUES (?, ?, ?)",
+                rows,
+            )
+
+
+class SqliteOutcomeBackend(_SqliteBackendMixin, OutcomeBackend):
+    """One row per outcome; an indexed ``recency`` column carries LRU order."""
+
+    name = "sqlite"
+
+    _SCHEMA = (
+        "CREATE TABLE IF NOT EXISTS outcomes ("
+        " fingerprint TEXT PRIMARY KEY,"
+        " record TEXT NOT NULL,"
+        " recency INTEGER NOT NULL)"
+    )
+
+    def __init__(self, path: str):
+        self._connection = self._connect(path, self._SCHEMA)
+        self._connection.execute(
+            "CREATE INDEX IF NOT EXISTS outcomes_recency ON outcomes(recency)"
+        )
+        self._connection.commit()
+        row = self._connection.execute("SELECT MAX(recency) FROM outcomes").fetchone()
+        self._recency = int(row[0] or 0)
+
+    def _next_recency(self) -> int:
+        self._recency += 1
+        return self._recency
+
+    def get_entry(self, fingerprint: str, *, touch: bool = True) -> dict | None:
+        row = self._connection.execute(
+            "SELECT record FROM outcomes WHERE fingerprint = ?", (fingerprint,)
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            entry = entry_from_outcome_record(json.loads(row[0]))
+        except (json.JSONDecodeError, EngineError):
+            # A corrupt row behaves like the JSONL loader's skipped line: the
+            # lookup misses and the row is dropped so it cannot mask a
+            # recomputation forever.
+            with self._connection:
+                self._connection.execute(
+                    "DELETE FROM outcomes WHERE fingerprint = ?", (fingerprint,)
+                )
+            return None
+        if touch:
+            with self._connection:
+                self._connection.execute(
+                    "UPDATE outcomes SET recency = ? WHERE fingerprint = ?",
+                    (self._next_recency(), fingerprint),
+                )
+        return entry
+
+    def put_entry(
+        self, fingerprint: str, result: JobResult, certificates: list[dict]
+    ) -> None:
+        with self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO outcomes (fingerprint, record, recency)"
+                " VALUES (?, ?, ?)",
+                (
+                    fingerprint,
+                    outcome_record_line(result, certificates),
+                    self._next_recency(),
+                ),
+            )
+
+    def delete(self, fingerprint: str) -> bool:
+        with self._connection:
+            cursor = self._connection.execute(
+                "DELETE FROM outcomes WHERE fingerprint = ?", (fingerprint,)
+            )
+        return cursor.rowcount > 0
+
+    def evict_lru(self, max_entries: int, pinned: frozenset[str]) -> int:
+        over = self.count() - max_entries
+        if over <= 0:
+            return 0
+        victims = []
+        for (fingerprint,) in self._connection.execute(
+            "SELECT fingerprint FROM outcomes ORDER BY recency ASC"
+        ):
+            if fingerprint in pinned:
+                continue
+            victims.append(fingerprint)
+            if len(victims) >= over:
+                break
+        if victims:
+            with self._connection:
+                self._connection.executemany(
+                    "DELETE FROM outcomes WHERE fingerprint = ?",
+                    [(victim,) for victim in victims],
+                )
+        return len(victims)
+
+    def count(self) -> int:
+        return int(
+            self._connection.execute("SELECT COUNT(*) FROM outcomes").fetchone()[0]
+        )
+
+    def contains(self, fingerprint: str) -> bool:
+        row = self._connection.execute(
+            "SELECT 1 FROM outcomes WHERE fingerprint = ?", (fingerprint,)
+        ).fetchone()
+        return row is not None

@@ -10,15 +10,17 @@ feasibility against its stored Choi matrix (the cheap half of the original
 work — never the SDP solve) and refuses to answer from a record whose
 certificates no longer verify.
 
-On-disk format: JSONL with the same healing discipline as
-:class:`~repro.engine.store.ResultStore` — one record per line, appends are
-single ``write`` calls, a kill leaves at worst one truncated trailing line
-which the loader skips (and the next append heals with a leading newline),
-later lines win.  Certificates ride along as base64-encoded ``complex128``
-arrays; they are decoded lazily, so the hot ``get()`` path never touches
-base64.  The in-memory map is size-capped LRU (``max_entries``); entries
-**pinned** by an in-flight engine batch are never evicted, and the log is
-compacted (atomic rewrite) once appended lines outnumber live entries 2:1.
+Storage is delegated to a pluggable
+:class:`~repro.engine.backends.base.OutcomeBackend` selected by URL on the
+``path`` argument (bare paths and ``jsonl://`` keep the historical JSONL
+line log with its healing discipline; ``sqlite:///`` opens a WAL-journaled
+database that never loads fully into memory; ``memory://`` is ephemeral —
+see :mod:`repro.engine.backends`).  The facade owns policy on top: the
+size-capped LRU (``max_entries``), in-flight **pinning** (entries pinned by
+a running engine batch are never evicted), certificate verification, and the
+hit/miss/eviction accounting.  Certificates ride as base64-encoded
+``complex128`` arrays decoded lazily, so the hot ``get()`` path never
+touches base64.
 """
 
 from __future__ import annotations
@@ -26,8 +28,6 @@ from __future__ import annotations
 import base64
 import contextlib
 import dataclasses
-import json
-import os
 import threading
 from collections.abc import Iterable, Iterator
 
@@ -36,12 +36,11 @@ import numpy as np
 from ..errors import EngineError
 from ..obs import metrics as obs_metrics
 from ..sdp.certificates import DualCertificate, verify_certificate
-from .spec import JobResult, canonical_json
+from .backends import OutcomeBackend, count_backend_op, open_outcome_backend
+from .backends.jsonl import OUTCOME_SCHEMA_VERSION
+from .spec import JobResult
 
-__all__ = ["OutcomeStore", "OutcomeCertificate"]
-
-#: Schema version of one outcome record; bump on incompatible format changes.
-OUTCOME_SCHEMA_VERSION = 1
+__all__ = ["OutcomeStore", "OutcomeCertificate", "OUTCOME_SCHEMA_VERSION"]
 
 #: Tolerance of the on-demand certificate re-check.  Matches the derivation
 #: checker's floor (max(tolerance, 1e-6) in Derivation._check_gate): the
@@ -160,91 +159,57 @@ class OutcomeCertificate:
 
 
 class OutcomeStore:
-    """JSONL-backed, LRU-capped map from job fingerprint to its whole outcome.
+    """LRU-capped map from job fingerprint to its whole outcome.
 
     Args:
-        path: the JSONL file (created on first put; parent directories too).
-        max_entries: in-memory/live-entry cap; the least-recently-used
-            unpinned entries are evicted beyond it (None = unbounded).
+        path: a storage URL (``jsonl://``, ``sqlite:///``, ``memory://``), a
+            bare JSONL file path, or an already-open
+            :class:`~repro.engine.backends.base.OutcomeBackend`.
+        max_entries: live-entry cap; the least-recently-used unpinned entries
+            are evicted beyond it (None = unbounded).
     """
 
-    def __init__(self, path: str, *, max_entries: int | None = None):
-        self.path = str(path)
+    def __init__(self, path: str | OutcomeBackend, *, max_entries: int | None = None):
         if max_entries is not None and int(max_entries) < 1:
             raise ValueError("max_entries must be at least 1 (or None)")
         self.max_entries = int(max_entries) if max_entries is not None else None
+        if isinstance(path, OutcomeBackend):
+            self._backend = path
+        else:
+            self._backend = open_outcome_backend(path)
+        self.path = self._backend.location
         self._lock = threading.Lock()
-        # fingerprint -> {"result": JobResult, "certificates": [raw dict, ...]}
-        # Insertion order doubles as recency order (hits re-insert at the end).
-        self._entries: dict[str, dict] = {}
         self._pins: dict[str, int] = {}
-        self._skipped_lines = 0
-        self._file_lines = 0
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._verification_failures = 0
-        parent = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(parent, exist_ok=True)
-        self._load()
+        with self._lock:
+            self._evict_over_cap()
 
-    # -- load / heal ---------------------------------------------------------
-    def _load(self) -> None:
-        self._needs_newline = False
-        if not os.path.exists(self.path):
-            return
-        with open(self.path, "r", encoding="utf-8") as handle:
-            content = handle.read()
-        # A kill can leave the file without a trailing newline; the next
-        # append must not concatenate onto the truncated record.
-        self._needs_newline = bool(content) and not content.endswith("\n")
-        for line in content.splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            self._file_lines += 1
-            try:
-                record = json.loads(line)
-                entry = self._entry_from_record(record)
-            except (json.JSONDecodeError, EngineError):
-                # Truncated trailing line after a kill, or foreign junk:
-                # skip rather than fail the whole store.
-                self._skipped_lines += 1
-                continue
-            fingerprint = entry["result"].fingerprint
-            self._entries.pop(fingerprint, None)  # later lines win, LRU-fresh
-            self._entries[fingerprint] = entry
-        self._evict_over_cap()
+    @property
+    def backend(self) -> OutcomeBackend:
+        """The storage engine behind this facade."""
+        return self._backend
 
-    @staticmethod
-    def _entry_from_record(record: dict) -> dict:
-        if not isinstance(record, dict):
-            raise EngineError("outcome record must be a dict")
-        if record.get("kind") != "analysis_outcome":
-            raise EngineError(f"not an outcome record: kind={record.get('kind')!r}")
-        if record.get("version") != OUTCOME_SCHEMA_VERSION:
-            raise EngineError(f"unsupported outcome schema {record.get('version')!r}")
-        result = JobResult.from_json_dict(record.get("result") or {})
-        if not result.ok or not result.fingerprint:
-            raise EngineError("outcome records must carry a successful result")
-        certificates = record.get("certificates") or []
-        if not isinstance(certificates, list):
-            raise EngineError("certificates must be a list")
-        return {"result": result, "certificates": certificates}
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+        with self._lock:
+            self._backend.close()
 
     # -- queries -------------------------------------------------------------
     def __len__(self) -> int:
         with self._lock:
-            return len(self._entries)
+            return self._backend.count()
 
     def __contains__(self, fingerprint: str) -> bool:
         with self._lock:
-            return fingerprint in self._entries
+            return self._backend.contains(fingerprint)
 
     @property
     def skipped_lines(self) -> int:
-        """Lines the loader could not parse (diagnostics only)."""
-        return self._skipped_lines
+        """Records the loader could not parse (diagnostics only)."""
+        return self._backend.skipped_lines
 
     def get(self, fingerprint: str, *, verify: bool = False) -> JobResult | None:
         """The stored outcome for ``fingerprint``, or None.
@@ -255,17 +220,22 @@ class OutcomeStore:
         lookup reports a miss — the caller recomputes, it never gets a
         tampered answer.
         """
+        count_backend_op(self._backend.name, "outcome_get")
         with self._lock:
-            entry = self._entries.get(fingerprint)
+            if not verify:
+                entry = self._backend.get_entry(fingerprint, touch=True)
+                if entry is None:
+                    self._misses += 1
+                    self._count("miss")
+                    return None
+                self._hits += 1
+                self._count("hit")
+                return entry["result"]
+            entry = self._backend.get_entry(fingerprint, touch=False)
             if entry is None:
                 self._misses += 1
                 self._count("miss")
                 return None
-            if not verify:
-                self._touch(fingerprint, entry)
-                self._hits += 1
-                self._count("hit")
-                return entry["result"]
             raw_certificates = list(entry["certificates"])
         # Decode + verify outside the lock: O(certificates) eigenvalue work.
         try:
@@ -276,18 +246,17 @@ class OutcomeStore:
         except EngineError:
             verified = False
         with self._lock:
-            current = self._entries.get(fingerprint)
-            if current is None:
-                self._misses += 1
-                self._count("miss")
-                return None
             if not verified:
-                del self._entries[fingerprint]
+                self._backend.delete(fingerprint)
                 self._verification_failures += 1
                 self._misses += 1
                 self._count("verification_failure")
                 return None
-            self._touch(fingerprint, current)
+            current = self._backend.get_entry(fingerprint, touch=True)
+            if current is None:
+                self._misses += 1
+                self._count("miss")
+                return None
             self._hits += 1
             self._count("verified_hit")
             return current["result"]
@@ -304,7 +273,7 @@ class OutcomeStore:
     def certificates(self, fingerprint: str) -> list[OutcomeCertificate]:
         """The decoded dual certificates stored with an outcome."""
         with self._lock:
-            entry = self._entries.get(fingerprint)
+            entry = self._backend.get_entry(fingerprint, touch=False)
             raw = list(entry["certificates"]) if entry is not None else []
         return [OutcomeCertificate.from_json_dict(payload) for payload in raw]
 
@@ -312,13 +281,14 @@ class OutcomeStore:
         with self._lock:
             return {
                 "path": self.path,
-                "entries": len(self._entries),
+                "backend": self._backend.name,
+                "entries": self._backend.count(),
                 "max_entries": self.max_entries,
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "verification_failures": self._verification_failures,
-                "skipped_lines": self._skipped_lines,
+                "skipped_lines": self._backend.skipped_lines,
             }
 
     # -- pinning -------------------------------------------------------------
@@ -362,37 +332,11 @@ class OutcomeStore:
             cert.to_json_dict() if isinstance(cert, OutcomeCertificate) else dict(cert)
             for cert in certificates
         ]
-        record = {
-            "version": OUTCOME_SCHEMA_VERSION,
-            "kind": "analysis_outcome",
-            "result": result.to_json_dict(),
-            "certificates": payloads,
-        }
-        line = canonical_json(record)
+        count_backend_op(self._backend.name, "outcome_put")
         with self._lock:
-            with open(self.path, "a", encoding="utf-8") as handle:
-                payload = line + "\n"
-                if self._needs_newline:
-                    payload = "\n" + payload
-                handle.write(payload)
-                handle.flush()
-                os.fsync(handle.fileno())
-                self._needs_newline = False
-            self._file_lines += 1
-            self._entries.pop(result.fingerprint, None)
-            self._entries[result.fingerprint] = {
-                "result": result,
-                "certificates": payloads,
-            }
+            self._backend.put_entry(result.fingerprint, result, payloads)
             self._evict_over_cap()
-            self._maybe_compact()
-
-    def _touch(self, fingerprint: str, entry: dict) -> None:
-        """Refresh recency on a hit.  Callers hold ``self._lock``."""
-        if self.max_entries is None:
-            return
-        self._entries.pop(fingerprint, None)
-        self._entries[fingerprint] = entry
+            self._backend.compact()
 
     def _evict_over_cap(self) -> None:
         """Drop LRU unpinned entries beyond ``max_entries``.  Callers hold the lock.
@@ -401,42 +345,12 @@ class OutcomeStore:
         transiently exceed the cap; the overshoot is reclaimed when the pins
         are released.
         """
-        if self.max_entries is None or len(self._entries) <= self.max_entries:
+        if self.max_entries is None:
             return
-        for fingerprint in list(self._entries):
-            if len(self._entries) <= self.max_entries:
-                break
-            if fingerprint in self._pins:
-                continue
-            del self._entries[fingerprint]
-            self._evictions += 1
+        evicted = self._backend.evict_lru(self.max_entries, frozenset(self._pins))
+        if evicted:
+            self._evictions += evicted
             obs_metrics.counter(
                 "repro_outcome_store_evictions_total",
                 "Outcome-store entries evicted by the LRU cap.",
-            ).inc()
-
-    def _maybe_compact(self) -> None:
-        """Rewrite the log when dead lines outnumber live entries.
-
-        Callers hold ``self._lock``.  Atomic: write a temp file in the same
-        directory, fsync, then ``os.replace`` — a kill mid-compaction leaves
-        either the old log or the new one, never a mix.
-        """
-        live = len(self._entries)
-        if self._file_lines <= max(2 * live, live + 64):
-            return
-        tmp_path = self.path + ".compact"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            for entry in self._entries.values():
-                record = {
-                    "version": OUTCOME_SCHEMA_VERSION,
-                    "kind": "analysis_outcome",
-                    "result": entry["result"].to_json_dict(),
-                    "certificates": entry["certificates"],
-                }
-                handle.write(canonical_json(record) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, self.path)
-        self._file_lines = live
-        self._needs_newline = False
+            ).inc(evicted)

@@ -31,8 +31,20 @@ under ``/v1/`` and is what :class:`repro.api.Client` speaks:
   the same payload with a ``Deprecation`` header.
 * ``GET /v1/metrics`` — Prometheus text exposition of the process-wide
   :mod:`repro.obs.metrics` registry: per-endpoint latency histograms,
-  in-flight/long-poll gauges, engine/outcome/cache/tape counters, and
-  per-solve-class SDP solve histograms (see ``docs/observability.md``).
+  in-flight/parked-coroutine gauges, engine/outcome/cache/tape/backend
+  counters, and per-solve-class SDP solve histograms (see
+  ``docs/observability.md``).
+* ``GET /v1/stream`` — a WebSocket (RFC 6455, stdlib implementation) for
+  multi-job workloads: subscribe to fingerprints and/or submit batches, and
+  results are **pushed** as each job finishes — see
+  :mod:`repro.engine.aserve` for the frame protocol.
+
+The HTTP front end is a single-threaded **asyncio** server
+(:class:`~repro.engine.aserve.AsyncAnalysisServer`): a parked long poll or
+WebSocket subscription is a coroutine awaiting a future, bridged to the
+engine's ``threading.Condition`` world through result listeners and
+``call_soon_threadsafe``, so one replica holds thousands of concurrent
+waiters without one thread each.
 
 Errors on ``/v1`` are **structured envelopes** mapped from the
 :class:`~repro.errors.ReproError` hierarchy::
@@ -42,10 +54,13 @@ Errors on ``/v1`` are **structured envelopes** mapped from the
 
 so :class:`repro.api.Client` re-raises the exact exception class.
 
-The unversioned endpoints (``POST /jobs``, ``GET /jobs/<fp>``, ``/healthz``)
-are kept as a **deprecated** compatibility surface with their historical flat
-``{"error": str}`` shape; they answer identically to ``/v1`` (same service,
-same engine) and will be removed after one release.
+The historical unversioned endpoints (``POST /jobs``, ``GET /jobs/<fp>``,
+``/healthz``) are **retired**: they answer ``410 Gone`` with a structured
+envelope naming the ``/v1`` successor.
+
+For horizontal scale, ``gleipnir-serve --replicas N`` starts N replica
+processes behind a fingerprint-sharding router — see
+:mod:`repro.engine.replicas`.
 
 Duplicate submissions (same fingerprint) — including re-submissions of jobs
 already completed in the attached result store — are answered without
@@ -55,16 +70,12 @@ re-execution; the fingerprint in the response is the handle for waiting.
 from __future__ import annotations
 
 import argparse
-import json
-import math
 import queue
 import sys
 import threading
 import time
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import parse_qs, urlparse
 
-from ..errors import BatchLimitExceeded, EngineError, ReproError, error_envelope
+from ..errors import BatchLimitExceeded
 from ..obs import metrics as obs_metrics
 from ..version import __version__
 from .outcomes import OutcomeStore
@@ -89,6 +100,10 @@ _FINISHED = TERMINAL_STATUSES
 
 class AnalysisService:
     """Coalesces job submissions into engine batches; tracks status by fingerprint."""
+
+    #: Shared with serving surfaces so they need not import module constants.
+    max_wait_seconds = MAX_WAIT_SECONDS
+    terminal_statuses = TERMINAL_STATUSES
 
     def __init__(
         self,
@@ -121,6 +136,10 @@ class AnalysisService:
         # facade's as_completed streaming) block instead of busy-polling.
         self._cond = threading.Condition()
         self._lock = self._cond
+        #: Callbacks fired (with the finished fingerprints, or [] on stop)
+        #: whenever jobs reach a terminal state — the bridge that lets an
+        #: asyncio serving surface park coroutines on threaded results.
+        self._result_listeners: list = []
         self._running = False
         self._stopped = False
         self._thread: threading.Thread | None = None
@@ -151,7 +170,34 @@ class AnalysisService:
         # (no batcher is left to finish the work they were waiting on).
         with self._cond:
             self._stopped = True
-            self._cond.notify_all()
+            self._notify_finished([])
+
+    # -- result listeners ----------------------------------------------------
+    def add_result_listener(self, listener) -> None:
+        """Register ``listener(fingerprints)`` for terminal transitions.
+
+        Called with the fingerprints that just finished — or ``[]`` when the
+        service stops and every waiter should be released.  Listeners fire
+        under the service lock and from engine threads, so they must be quick
+        and non-blocking; ``loop.call_soon_threadsafe`` qualifies.
+        """
+        with self._lock:
+            if listener not in self._result_listeners:
+                self._result_listeners.append(listener)
+
+    def remove_result_listener(self, listener) -> None:
+        with self._lock:
+            if listener in self._result_listeners:
+                self._result_listeners.remove(listener)
+
+    def _notify_finished(self, fingerprints: list[str]) -> None:
+        """Wake condition waiters and fire listeners.  Callers hold the lock."""
+        self._cond.notify_all()
+        for listener in list(self._result_listeners):
+            try:
+                listener(list(fingerprints))
+            except Exception:  # a broken listener must not kill the batcher
+                pass
 
     # -- submission --------------------------------------------------------
     def submit_payload(self, payload: dict) -> dict:
@@ -195,12 +241,17 @@ class AnalysisService:
                     entry = self._track(
                         self._entry(fingerprint, job.name, "done", cached)
                     )
+                    # A WebSocket client may have subscribed to this
+                    # fingerprint before submitting it; warm hits must reach
+                    # those listeners like any other terminal transition.
+                    self._notify_finished([fingerprint])
                     return dict(entry)
             store = self.engine.store
             if self.resume and store is not None and store.completed(fingerprint):
                 entry = self._track(
                     self._entry(fingerprint, job.name, "done", store.get(fingerprint))
                 )
+                self._notify_finished([fingerprint])
                 return dict(entry)
             entry = self._track(self._entry(fingerprint, job.name, "queued", None))
         self._queue.put((fingerprint, job))
@@ -265,11 +316,12 @@ class AnalysisService:
                 "submit": f"POST /{API_VERSION}/batches",
                 "job": f"GET /{API_VERSION}/jobs/<fingerprint>",
                 "wait": f"GET /{API_VERSION}/jobs/<fingerprint>?wait=<seconds>",
+                "stream": f"GET /{API_VERSION}/stream (WebSocket)",
                 "capabilities": f"GET /{API_VERSION}/capabilities",
                 "healthz": f"GET /{API_VERSION}/healthz",
                 "metrics": f"GET /{API_VERSION}/metrics",
             },
-            "deprecated_endpoints": ["POST /jobs", "GET /jobs/<fingerprint>"],
+            "retired_endpoints": ["POST /jobs", "GET /jobs/<fingerprint>", "GET /healthz"],
         }
 
     def stats(self) -> dict:
@@ -443,233 +495,28 @@ class AnalysisService:
                     for fingerprint, job in batch:
                         entry = self._track(self._entry(fingerprint, job.name, "failed", None))
                         entry["error"] = f"{type(exc).__name__}: {exc}"
-                    self._cond.notify_all()
+                    self._notify_finished([fingerprint for fingerprint, _ in batch])
                 continue
             with self._lock:
                 for (fingerprint, job), result in zip(batch, report.results):
                     status = "done" if result.ok else "failed"
                     self._track(self._entry(fingerprint, job.name, status, result))
-                self._cond.notify_all()
+                self._notify_finished([fingerprint for fingerprint, _ in batch])
             self.batches_run += 1
 
 
-def make_server(
-    service: AnalysisService, host: str = "127.0.0.1", port: int = 0
-) -> ThreadingHTTPServer:
-    """An HTTP server bound to ``host:port`` (port 0 = ephemeral) for ``service``.
+def make_server(service: AnalysisService, host: str = "127.0.0.1", port: int = 0):
+    """An :class:`~repro.engine.aserve.AsyncAnalysisServer` bound to ``host:port``.
 
-    Each request runs in its own thread (``ThreadingHTTPServer``), so a
-    long-poll ``GET /v1/jobs/<fp>?wait=`` blocks only its connection.
+    Port 0 binds an ephemeral port; ``server_address`` is final on return.
+    The returned object keeps the ``socketserver`` lifecycle surface
+    (``serve_forever`` / ``shutdown`` / ``server_close``), so callers and
+    fixtures written against the old threaded server drive it unchanged —
+    but every parked long poll is now a coroutine, not a thread.
     """
+    from .aserve import AsyncAnalysisServer
 
-    def _route_label(path: str) -> str:
-        """Low-cardinality endpoint label for the latency histograms."""
-        if path.startswith(f"/{API_VERSION}"):
-            sub = path[len(API_VERSION) + 1 :]
-            if sub.startswith("/jobs"):
-                return f"/{API_VERSION}/jobs/{{fingerprint}}"
-            return f"/{API_VERSION}{sub}" if sub else f"/{API_VERSION}"
-        if path.startswith("/jobs"):
-            return "/jobs"
-        if path == "/healthz":
-            return "/healthz"
-        return "other"
-
-    class Handler(BaseHTTPRequestHandler):
-        def log_message(self, format: str, *args) -> None:  # quiet by default
-            pass
-
-        def _observed(self, method: str, handler) -> None:
-            """Run one request handler under the HTTP metrics."""
-            endpoint = _route_label(urlparse(self.path).path.rstrip("/"))
-            in_flight = obs_metrics.gauge(
-                "repro_http_in_flight", "HTTP requests currently being handled."
-            )
-            in_flight.inc()
-            started = time.perf_counter()
-            try:
-                handler()
-            finally:
-                in_flight.dec()
-                obs_metrics.histogram(
-                    "repro_http_request_seconds",
-                    "HTTP request latency by endpoint and method.",
-                    {"endpoint": endpoint, "method": method},
-                ).observe(time.perf_counter() - started)
-
-        def _send_text(self, code: int, body: str, content_type: str) -> None:
-            payload = body.encode("utf-8")
-            self.send_response(code)
-            self.send_header("Content-Type", content_type)
-            self.send_header("Content-Length", str(len(payload)))
-            self.end_headers()
-            self.wfile.write(payload)
-
-        def _send_json(self, code: int, payload: dict, *, deprecated: bool = False) -> None:
-            body = json.dumps(payload).encode()
-            self.send_response(code)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
-            if deprecated:
-                self.send_header("Deprecation", "true")
-                self.send_header("Link", f'</{API_VERSION}/batches>; rel="successor-version"')
-            self.end_headers()
-            self.wfile.write(body)
-
-        def _send_error(self, exc: BaseException, status: int) -> None:
-            self._send_json(status, error_envelope(exc, status=status))
-
-        def _read_body(self):
-            length = int(self.headers.get("Content-Length", 0))
-            return json.loads(self.rfile.read(length) or b"null")
-
-        # -- /v1 ------------------------------------------------------------
-        def _v1_get(self, path: str, query: dict) -> None:
-            if path == "/capabilities":
-                self._send_json(200, service.capabilities())
-                return
-            if path == "/healthz":
-                self._send_json(200, service.healthz())
-                return
-            if path == "/metrics":
-                self._send_text(
-                    200,
-                    service.render_metrics(),
-                    "text/plain; version=0.0.4; charset=utf-8",
-                )
-                return
-            if path.startswith("/jobs/"):
-                fingerprint = path[len("/jobs/"):]
-                wait = query.get("wait")
-                if wait is not None:
-                    try:
-                        requested = float(wait[0])
-                        if not math.isfinite(requested):
-                            # NaN slips through min/max clamps and would turn
-                            # the condition wait into a busy spin.
-                            raise ValueError("wait must be finite")
-                        seconds = min(max(requested, 0.0), MAX_WAIT_SECONDS)
-                    except (TypeError, ValueError):
-                        self._send_error(
-                            EngineError(f"invalid wait parameter {wait[0]!r}"), 400
-                        )
-                        return
-                    parked = obs_metrics.gauge(
-                        "repro_http_longpoll_parked",
-                        "Long-poll requests currently parked on the condition "
-                        "variable.",
-                    )
-                    parked.inc()
-                    try:
-                        entry = service.wait_for(fingerprint, timeout=seconds)
-                    finally:
-                        parked.dec()
-                else:
-                    entry = service.status(fingerprint)
-                if entry is None:
-                    from ..errors import JobNotFoundError
-
-                    self._send_error(
-                        JobNotFoundError(f"unknown fingerprint {fingerprint!r}"), 404
-                    )
-                else:
-                    self._send_json(200, entry)
-                return
-            self._send_error(EngineError(f"unknown path {self.path!r}"), 404)
-
-        def _v1_post(self, path: str) -> None:
-            if path != "/batches":
-                self._send_error(EngineError(f"unknown path {self.path!r}"), 404)
-                return
-            try:
-                payload = self._read_body()
-            except (ValueError, json.JSONDecodeError) as exc:
-                self._send_error(EngineError(f"invalid JSON body: {exc}"), 400)
-                return
-            if not isinstance(payload, dict) or not isinstance(payload.get("jobs"), list):
-                self._send_error(
-                    EngineError("body must be {'jobs': [<job payload>, ...]}"), 400
-                )
-                return
-            submissions = payload["jobs"]
-            if not submissions:
-                self._send_error(EngineError("batch must contain at least one job"), 400)
-                return
-            try:
-                entries = service.submit_payloads(submissions)
-            except BatchLimitExceeded as exc:
-                self._send_error(exc, 413)
-                return
-            except ReproError as exc:
-                self._send_error(exc, 400)
-                return
-            self._send_json(
-                202, {"jobs": entries, "batch": {"submitted": len(entries)}}
-            )
-
-        # -- dispatch -------------------------------------------------------
-        def do_GET(self) -> None:
-            self._observed("GET", self._do_get)
-
-        def do_POST(self) -> None:
-            self._observed("POST", self._do_post)
-
-        def _do_get(self) -> None:
-            parsed = urlparse(self.path)
-            path = parsed.path.rstrip("/")
-            query = parse_qs(parsed.query)
-            if path.startswith(f"/{API_VERSION}"):
-                self._v1_get(path[len(API_VERSION) + 1 :], query)
-                return
-            if path == "/healthz":
-                # Legacy shim: same payload as /v1/healthz, flagged deprecated.
-                self._send_json(200, service.healthz(), deprecated=True)
-                return
-            # Deprecated unversioned surface (flat error shape, no long poll).
-            if path.startswith("/jobs/"):
-                fingerprint = path[len("/jobs/"):]
-                entry = service.status(fingerprint)
-                if entry is None:
-                    self._send_json(
-                        404, {"error": f"unknown fingerprint {fingerprint!r}"},
-                        deprecated=True,
-                    )
-                else:
-                    self._send_json(200, entry, deprecated=True)
-                return
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
-
-        def _do_post(self) -> None:
-            parsed = urlparse(self.path)
-            path = parsed.path.rstrip("/")
-            if path.startswith(f"/{API_VERSION}"):
-                self._v1_post(path[len(API_VERSION) + 1 :])
-                return
-            if path != "/jobs":
-                self._send_json(404, {"error": f"unknown path {self.path!r}"})
-                return
-            try:
-                payload = self._read_body()
-            except (ValueError, json.JSONDecodeError) as exc:
-                self._send_json(400, {"error": f"invalid JSON body: {exc}"}, deprecated=True)
-                return
-            if isinstance(payload, dict) and "jobs" in payload:
-                submissions = payload["jobs"]
-            else:
-                submissions = [payload]
-            if not isinstance(submissions, list) or not submissions:
-                self._send_json(
-                    400, {"error": "body must be a job or {'jobs': [...]}"}, deprecated=True
-                )
-                return
-            try:
-                entries = service.submit_payloads(submissions)
-            except ReproError as exc:
-                self._send_json(400, {"error": str(exc)}, deprecated=True)
-                return
-            self._send_json(202, {"jobs": entries}, deprecated=True)
-
-    return ThreadingHTTPServer((host, port), Handler)
+    return AsyncAnalysisServer(service, host, port)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -680,12 +527,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8780)
     parser.add_argument("--workers", type=int, default=1, help="process-pool size")
-    parser.add_argument("--store", default=None, help="JSONL result store path (enables resume)")
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="result store path or URL (jsonl path, sqlite:///..., memory://); "
+        "enables resume",
+    )
     parser.add_argument("--cache-dir", default=None, help="shared on-disk bound cache directory")
     parser.add_argument(
         "--outcomes",
         default=None,
-        help="whole-outcome store path (JSONL); warm hits answer without the pool",
+        help="whole-outcome store path or URL (jsonl path, sqlite:///..., "
+        "memory://); warm hits answer without the pool",
     )
     parser.add_argument(
         "--outcomes-max-entries",
@@ -712,11 +565,44 @@ def build_parser() -> argparse.ArgumentParser:
         default=4096,
         help="max solve classes pooled by one fusion window",
     )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help="run N sharded replica processes behind a fingerprint router "
+        "(0 = single process)",
+    )
+    parser.add_argument(
+        "--shard-index",
+        type=int,
+        default=None,
+        help="this replica's shard index (set by the --replicas supervisor)",
+    )
+    parser.add_argument(
+        "--shard-count",
+        type=int,
+        default=None,
+        help="total shard count (set by the --replicas supervisor)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.replicas and args.replicas > 1:
+        from .replicas import serve_replicas
+
+        return serve_replicas(args)
+    if args.shard_index is not None:
+        # Visible on this replica's /v1/metrics so a smoke test (or an
+        # operator) can confirm which shard answered.
+        obs_metrics.gauge(
+            "repro_replica_shard", "This replica's shard index."
+        ).set(args.shard_index)
+        if args.shard_count is not None:
+            obs_metrics.gauge(
+                "repro_replica_shard_count", "Total replica count of this deployment."
+            ).set(args.shard_count)
     engine = AnalysisEngine(
         workers=args.workers,
         store=ResultStore(args.store) if args.store else None,

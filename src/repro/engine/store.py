@@ -1,95 +1,92 @@
-"""A resumable, append-only result store keyed by job fingerprint.
+"""A resumable result store keyed by job fingerprint, over pluggable backends.
 
-The store is a JSONL file: one :class:`~repro.engine.spec.JobResult` per
-line.  Appends are atomic at the line level (single ``write`` + flush), so a
-sweep killed mid-run leaves at worst one truncated trailing line, which the
-loader skips.  Later lines win, so re-running a job simply supersedes its
-earlier record — including replacing a ``timeout``/``error`` record with an
-``ok`` one once the job is given a larger budget.
+The facade keeps the surface every caller (engine, service, experiment
+drivers) has always used — ``get``/``completed``/``results``/``missing``/
+``put``/``put_many`` under one lock — and delegates storage to a
+:class:`~repro.engine.backends.base.ResultBackend` selected by URL
+(``results.jsonl`` or ``jsonl://…`` for the historical append-only line log,
+``sqlite:///…`` for WAL-journaled SQLite, ``memory://…`` for tests and
+ephemeral replicas — see :mod:`repro.engine.backends`).
 
 ``resume`` semantics (used by the engine and the ``--resume`` experiment
 flag): a job whose fingerprint maps to an ``ok`` record is not re-executed;
-failed, timed-out, or unknown fingerprints run again.
+failed, timed-out, or unknown fingerprints run again.  Later writes for a
+fingerprint supersede earlier ones on every backend — including replacing a
+``timeout``/``error`` record with an ``ok`` one once the job is given a
+larger budget.
 """
 
 from __future__ import annotations
 
-import json
-import os
 import threading
 from collections.abc import Iterable
 
-from ..errors import EngineError
-from .spec import JobResult, canonical_json
+from .backends import ResultBackend, count_backend_op, open_result_backend
+from .spec import JobResult
 
 __all__ = ["ResultStore"]
 
 
 class ResultStore:
-    """JSONL-backed map from job fingerprint to the latest :class:`JobResult`."""
+    """Map from job fingerprint to the latest :class:`JobResult`.
 
-    def __init__(self, path: str):
-        self.path = str(path)
+    Args:
+        path: a storage URL (``jsonl://``, ``sqlite:///``, ``memory://``) or
+            a bare JSONL file path, or an already-open
+            :class:`~repro.engine.backends.base.ResultBackend`.
+    """
+
+    def __init__(self, path: str | ResultBackend):
+        if isinstance(path, ResultBackend):
+            self._backend = path
+        else:
+            self._backend = open_result_backend(path)
+        self.path = self._backend.location
         self._lock = threading.Lock()
-        self._results: dict[str, JobResult] = {}
-        self._skipped_lines = 0
-        parent = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(parent, exist_ok=True)
-        self._load()
 
-    def _load(self) -> None:
-        self._needs_newline = False
-        if not os.path.exists(self.path):
-            return
-        with open(self.path, "r", encoding="utf-8") as handle:
-            content = handle.read()
-        # A kill can leave the file without a trailing newline; the next
-        # append must not concatenate onto the truncated record.
-        self._needs_newline = bool(content) and not content.endswith("\n")
-        for line in content.splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                result = JobResult.from_json_dict(json.loads(line))
-            except (json.JSONDecodeError, EngineError):
-                # Truncated trailing line after a kill, or foreign junk:
-                # skip rather than fail the whole sweep.
-                self._skipped_lines += 1
-                continue
-            self._results[result.fingerprint] = result
+    @property
+    def backend(self) -> ResultBackend:
+        """The storage engine behind this facade."""
+        return self._backend
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+        with self._lock:
+            self._backend.close()
 
     # -- queries -------------------------------------------------------------
     # Every read takes the lock: the service batcher thread calls put() while
-    # request handlers read, and an unlocked dict read racing a mutation is
+    # request handlers read, and an unlocked read racing a mutation is
     # exactly the kind of bug that only fires under load.
     def __len__(self) -> int:
         with self._lock:
-            return len(self._results)
+            return self._backend.count()
 
     def __contains__(self, fingerprint: str) -> bool:
         with self._lock:
-            return fingerprint in self._results
+            return self._backend.contains(fingerprint)
 
     @property
     def skipped_lines(self) -> int:
-        """Lines the loader could not parse (diagnostics only)."""
-        return self._skipped_lines
+        """Records the loader could not parse (diagnostics only)."""
+        return self._backend.skipped_lines
 
     def get(self, fingerprint: str) -> JobResult | None:
         with self._lock:
-            return self._results.get(fingerprint)
+            result = self._backend.get(fingerprint)
+        count_backend_op(self._backend.name, "result_get")
+        return result
 
     def completed(self, fingerprint: str) -> bool:
         """Whether the store holds a successful result for this fingerprint."""
         with self._lock:
-            result = self._results.get(fingerprint)
+            result = self._backend.get(fingerprint)
         return result is not None and result.ok
 
     def results(self) -> dict[str, JobResult]:
         """A snapshot of the latest result per fingerprint."""
         with self._lock:
-            return dict(self._results)
+            return self._backend.results()
 
     def missing(self, fingerprints: Iterable[str]) -> list[str]:
         """The fingerprints that still need (re-)execution under resume."""
@@ -102,32 +99,14 @@ class ResultStore:
 
     # -- mutation ------------------------------------------------------------
     def put(self, result: JobResult) -> None:
-        """Record one result: append a line, then update the in-memory map."""
+        """Record one result; later writes supersede earlier ones."""
         self.put_many([result])
 
     def put_many(self, results: Iterable[JobResult]) -> None:
-        """Record many results with one append and one flush/fsync.
-
-        All lines are written in a single ``write`` call, so the append keeps
-        the line-level atomicity contract (a kill can truncate at most the
-        tail of the payload, which the loader heals) while paying the fsync
-        latency once per batch instead of once per result.
-        """
+        """Record many results with one backend write (one append/transaction)."""
         results = list(results)
         if not results:
             return
-        lines = [canonical_json(result.to_json_dict()) for result in results]
-        payload = "".join(line + "\n" for line in lines)
         with self._lock:
-            with open(self.path, "a", encoding="utf-8") as handle:
-                if self._needs_newline:
-                    payload = "\n" + payload
-                handle.write(payload)
-                handle.flush()
-                os.fsync(handle.fileno())
-                # Only after the healing newline is durably on disk: a failed
-                # write must leave the flag set so a retry still heals the
-                # truncated tail instead of gluing onto it.
-                self._needs_newline = False
-            for result in results:
-                self._results[result.fingerprint] = result
+            self._backend.put_many(results)
+        count_backend_op(self._backend.name, "result_put")

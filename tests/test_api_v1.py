@@ -4,8 +4,8 @@ Covers the versioned wire format end to end: batch submit, long-poll result
 push (asserting a completed result costs **one** request — no client-side
 polling), capability discovery, structured error envelopes (unknown
 fingerprint, malformed payload, oversized batch), the remote
-:class:`~repro.api.AnalysisSession` transport, and bit-identity between the
-deprecated unversioned surface and /v1.
+:class:`~repro.api.AnalysisSession` transport, and the retired unversioned
+surface answering 410 Gone with a pointer at its /v1 successor.
 """
 
 import json
@@ -163,27 +163,33 @@ class TestErrorEnvelopes:
         assert excinfo.value.code == 400
 
 
-class TestLegacySurface:
-    def test_legacy_jobs_endpoint_is_bit_identical_and_deprecated(self, server, client):
-        base, service = server
-        payload = _job().to_json_dict()
+class TestRetiredSurface:
+    """The unversioned endpoints answer 410 Gone, pointing at /v1."""
+
+    @pytest.mark.parametrize(
+        "method, path",
+        [
+            ("POST", "/jobs"),
+            ("GET", "/jobs/" + "a" * 64),
+            ("GET", "/healthz"),
+        ],
+    )
+    def test_unversioned_endpoints_are_gone(self, server, method, path):
+        base, _service = server
         request = urllib.request.Request(
-            base + "/jobs",
-            data=json.dumps(payload).encode(),
+            base + path,
+            data=json.dumps(_job().to_json_dict()).encode() if method == "POST" else None,
             headers={"Content-Type": "application/json"},
+            method=method,
         )
-        with urllib.request.urlopen(request) as response:
-            assert response.status == 202
-            assert response.headers.get("Deprecation") == "true"
-            legacy_fingerprint = json.loads(response.read())["jobs"][0]["fingerprint"]
-
-        modern_fingerprint = client.submit([_job()])[0]["fingerprint"]
-        assert legacy_fingerprint == modern_fingerprint  # same job, same address
-        entry = client.wait(modern_fingerprint, timeout=120)
-
-        with urllib.request.urlopen(base + f"/jobs/{legacy_fingerprint}") as response:
-            legacy_entry = json.loads(response.read())
-        assert legacy_entry["result"]["error_bound"] == entry["result"]["error_bound"]
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        response = excinfo.value
+        assert response.code == 410
+        envelope = json.loads(response.read())["error"]
+        assert envelope["status"] == 410
+        assert "/v1" in envelope["message"]  # the envelope names the successor
+        assert "/v1" in (response.headers.get("Link") or "")
 
 
 class TestServiceWait:

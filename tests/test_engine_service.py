@@ -115,39 +115,39 @@ class TestAnalysisService:
 class TestHTTPAPI:
     def test_submit_and_poll_over_http(self, server):
         base, service = server
-        status, body = _post(base, "/jobs", {"jobs": [_payload(), _payload()]})
+        status, body = _post(base, "/v1/batches", {"jobs": [_payload(), _payload()]})
         assert status == 202
         assert len(body["jobs"]) == 2
         fingerprint = body["jobs"][0]["fingerprint"]
         assert body["jobs"][1]["fingerprint"] == fingerprint
 
         service.wait(fingerprint, timeout=60)
-        status, entry = _get(base, f"/jobs/{fingerprint}")
+        status, entry = _get(base, f"/v1/jobs/{fingerprint}")
         assert status == 200
         assert entry["status"] == "done"
         assert entry["result"]["error_bound"] > 0
 
-    def test_single_job_body(self, server):
-        base, service = server
-        status, body = _post(base, "/jobs", _payload("solo"))
-        assert status == 202
-        service.wait(body["jobs"][0]["fingerprint"], timeout=60)
-
     def test_healthz(self, server):
         base, _ = server
-        status, body = _get(base, "/healthz")
+        status, body = _get(base, "/v1/healthz")
         assert status == 200
         assert body["status"] == "ok"
         assert "workers" in body
 
     def test_error_paths(self, server):
         base, _ = server
-        assert _get(base, "/jobs/deadbeef")[0] == 404
-        assert _get(base, "/nope")[0] == 404
-        assert _post(base, "/jobs", {"kind": "not_a_job"})[0] == 400
-        assert _post(base, "/jobs", {"jobs": []})[0] == 400
-        status, _body = _post(base, "/nope", _payload())
+        assert _get(base, "/v1/jobs/deadbeef")[0] == 404
+        assert _get(base, "/v1/nope")[0] == 404
+        assert _post(base, "/v1/batches", {"kind": "not_a_job"})[0] == 400
+        assert _post(base, "/v1/batches", {"jobs": []})[0] == 400
+        status, _body = _post(base, "/v1/nope", _payload())
         assert status == 404
+
+    def test_retired_unversioned_surface_is_gone(self, server):
+        base, _ = server
+        assert _post(base, "/jobs", {"jobs": [_payload()]})[0] == 410
+        assert _get(base, "/jobs/deadbeef")[0] == 410
+        assert _get(base, "/healthz")[0] == 410
 
     def test_malformed_matrix_payload_returns_400(self, server):
         base, _ = server
@@ -158,14 +158,14 @@ class TestHTTPAPI:
             "params": [],
             "matrix": [[[1, 0], [0, 0]], [[0, 0]]],
         }
-        status, body = _post(base, "/jobs", payload)
+        status, body = _post(base, "/v1/batches", {"jobs": [payload]})
         assert status == 400
         assert "error" in body
 
     def test_rejected_batch_executes_nothing(self, server):
         base, service = server
         status, _body = _post(
-            base, "/jobs", {"jobs": [_payload("victim"), {"kind": "not_a_job"}]}
+            base, "/v1/batches", {"jobs": [_payload("victim"), {"kind": "not_a_job"}]}
         )
         assert status == 400
         # All-or-nothing: the valid leading job must not have been enqueued.

@@ -104,14 +104,14 @@ class TestResultStoreConcurrency:
         """put_many writes one payload with one fsync, and stays loadable."""
         import os as os_module
 
-        import repro.engine.store as store_module
+        import repro.engine.backends.jsonl as jsonl_module
 
         path = tmp_path / "results.jsonl"
         store = ResultStore(str(path))
         fsyncs = []
         real_fsync = os_module.fsync
         monkeypatch.setattr(
-            store_module.os, "fsync", lambda fd: (fsyncs.append(fd), real_fsync(fd))
+            jsonl_module.os, "fsync", lambda fd: (fsyncs.append(fd), real_fsync(fd))
         )
         store.put_many([_result(f"fp{i}") for i in range(25)])
         assert len(fsyncs) == 1

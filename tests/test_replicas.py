@@ -1,0 +1,175 @@
+"""Sharded replica serving: supervisor, router, and shard-aware client.
+
+The deployment contract under test: ``N`` replica processes behind the
+fingerprint router must be **bit-identical** to one in-process engine — the
+same jobs produce the same ``error_bound`` to the last ulp, whether they ran
+locally, through the router, or via a shard-aware :class:`repro.api.Client`
+talking to the replicas directly.  Sharding itself is pure content
+addressing (``int(fingerprint, 16) % N``), so the test also pins that the
+client, the router, and the supervisor all compute the same function.
+"""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.api import AnalysisSession, Client
+from repro.circuits import Circuit
+from repro.config import AnalysisConfig, SDPConfig
+from repro.engine.replicas import ReplicaSet, ShardRouter, shard_index, shard_location
+from repro.engine.spec import AnalysisJob
+from repro.errors import EngineError
+from repro.noise import NoiseModel
+
+FAST = AnalysisConfig(mps_width=4, sdp=SDPConfig(max_iterations=200, tolerance=1e-4))
+MODEL = NoiseModel.uniform_bit_flip(1e-3)
+
+
+def _job(name: str = "ghz2", *, num_qubits: int = 2) -> AnalysisJob:
+    circuit = Circuit(num_qubits, name=name).h(0).cx(0, 1)
+    for q in range(2, num_qubits):
+        circuit.cx(q - 1, q)
+    return AnalysisJob.from_circuit(circuit, MODEL, config=FAST)
+
+
+class TestShardFunctions:
+    def test_shard_index_is_content_addressing(self):
+        fingerprint = _job().fingerprint()
+        assert shard_index(fingerprint, 2) == int(fingerprint, 16) % 2
+        assert shard_index(fingerprint, 1) == 0
+
+    @pytest.mark.parametrize(
+        "url, index, expected",
+        [
+            ("results.jsonl", 0, "results.r0.jsonl"),
+            ("jsonl://out/results.jsonl", 2, "jsonl://out/results.r2.jsonl"),
+            ("sqlite:///state/outcomes.sqlite", 1, "sqlite:///state/outcomes.r1.sqlite"),
+            ("sqlite:////abs/outcomes.sqlite", 1, "sqlite:////abs/outcomes.r1.sqlite"),
+            ("memory://shared", 3, "memory://shared"),
+            ("plain_no_ext", 1, "plain_no_ext.r1"),
+        ],
+    )
+    def test_shard_location(self, url, index, expected):
+        assert shard_location(url, index) == expected
+
+    def test_client_shard_matches_router_shard(self):
+        client = Client(["http://a:1", "http://b:2"])
+        for num_qubits in (2, 3, 4):
+            fingerprint = _job(num_qubits=num_qubits).fingerprint()
+            assert client.shard_of(fingerprint) == shard_index(fingerprint, 2)
+
+
+class TestClientRetries:
+    def test_retries_off_by_default_fails_fast(self):
+        client = Client("http://127.0.0.1:9")  # port 9: nothing listens
+        with pytest.raises(EngineError, match="cannot reach"):
+            client.capabilities()
+        assert client.requests_sent == 1
+
+    def test_bounded_retries_count_attempts(self):
+        client = Client("http://127.0.0.1:9", retries=2, retry_base_delay=0.01)
+        with pytest.raises(EngineError, match="cannot reach"):
+            client.capabilities()
+        assert client.requests_sent == 3  # 1 original + 2 retries
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(EngineError):
+            Client("http://127.0.0.1:9", retries=-1)
+
+
+@pytest.fixture(scope="module")
+def deployment(tmp_path_factory):
+    """Two live replica processes plus a router in this process."""
+    tmp_path = tmp_path_factory.mktemp("replicas")
+    store = str(tmp_path / "results.jsonl")
+    replica_set = ReplicaSet(
+        2,
+        [
+            ["--workers", "1", "--store", shard_location(store, index)]
+            for index in range(2)
+        ],
+    )
+    urls = replica_set.start()
+    router = ShardRouter(urls, "127.0.0.1", 0)
+    thread = threading.Thread(target=router.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{router.server_address[1]}"
+    yield base, urls
+    router.shutdown()
+    thread.join(timeout=10)
+    router.server_close()
+    replica_set.stop()
+
+
+class TestShardedDeployment:
+    JOBS = staticmethod(
+        lambda: [_job("ghz2"), _job("ghz3", num_qubits=3), _job("ghz4", num_qubits=4)]
+    )
+
+    def test_router_batch_bit_identical_to_in_process(self, deployment):
+        base, _urls = deployment
+        jobs = self.JOBS()
+        client = Client(base)
+        entries = client.submit(jobs)
+        assert len(entries) == 3
+        routed = {
+            entry["fingerprint"]: client.wait(entry["fingerprint"], timeout=300)
+            for entry in entries
+        }
+        with AnalysisSession(config=FAST) as local:
+            local_outcomes = local.analyze_batch(jobs)
+        for outcome in local_outcomes:
+            assert routed[outcome.fingerprint]["status"] == "done"
+            # Bit-identical across the process boundary, not approximately equal.
+            assert (
+                routed[outcome.fingerprint]["result"]["error_bound"] == outcome.bound
+            )
+
+    def test_router_tags_entries_with_owning_shard(self, deployment):
+        base, _urls = deployment
+        client = Client(base)
+        entries = client.submit(self.JOBS())
+        for entry in entries:
+            assert entry["shard"] == shard_index(entry["fingerprint"], 2)
+
+    def test_shard_aware_client_skips_the_router(self, deployment):
+        base, urls = deployment
+        jobs = self.JOBS()
+        routed = Client(base)
+        sharded = Client(urls)
+        routed_entries = routed.submit(jobs)
+        sharded_entries = sharded.submit(jobs)
+        for via_router, via_shards in zip(routed_entries, sharded_entries):
+            assert via_router["fingerprint"] == via_shards["fingerprint"]
+            assert via_router["shard"] == via_shards["shard"]
+            done = sharded.wait(via_shards["fingerprint"], timeout=300)
+            assert done["status"] == "done"
+
+    def test_each_replica_reports_its_shard_gauge(self, deployment):
+        _base, urls = deployment
+        for expected_shard, url in enumerate(urls):
+            with urllib.request.urlopen(url + "/v1/metrics", timeout=30) as response:
+                exposition = response.read().decode()
+            values = [
+                float(line.split()[1])
+                for line in exposition.splitlines()
+                if line.startswith("repro_replica_shard ")
+            ]
+            assert values == [float(expected_shard)]
+
+    def test_router_healthz_aggregates_replicas(self, deployment):
+        base, _urls = deployment
+        with urllib.request.urlopen(base + "/v1/healthz", timeout=30) as response:
+            health = json.loads(response.read())
+        assert health["status"] == "ok"
+        assert health["replica_count"] == 2
+        assert [replica["shard"] for replica in health["replicas"]] == [0, 1]
+
+    def test_router_capabilities_advertise_sharding(self, deployment):
+        base, _urls = deployment
+        with urllib.request.urlopen(base + "/v1/capabilities", timeout=30) as response:
+            capabilities = json.loads(response.read())
+        assert capabilities["router"]["replicas"] == 2
+        assert "int(fingerprint, 16)" in capabilities["router"]["sharding"]
