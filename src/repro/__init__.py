@@ -22,10 +22,12 @@ from .engine import (
     AnalysisEngine,
     AnalysisJob,
     AnalysisService,
+    ComparisonJob,
     JobResult,
     ResultStore,
 )
 from .api import AnalysisOutcome, AnalysisSession, Client
+from .metrics import ChannelMetric, MetricValue, get_metric, registered_metrics
 from .mps import MPS, MPSApproximator, approximate_program
 from .sdp import (
     DiamondNormBound,
@@ -43,12 +45,14 @@ from .errors import (
     ExperimentError,
     GateError,
     LogicError,
+    MetricError,
     MPSError,
     NoiseModelError,
     ReproError,
     ResourceLimitExceeded,
     SDPError,
     SimulationError,
+    StorageBackendError,
 )
 
 __all__ = [
@@ -68,11 +72,16 @@ __all__ = [
     "AnalysisEngine",
     "AnalysisJob",
     "AnalysisService",
+    "ComparisonJob",
     "JobResult",
     "ResultStore",
     "AnalysisOutcome",
     "AnalysisSession",
     "Client",
+    "ChannelMetric",
+    "MetricValue",
+    "get_metric",
+    "registered_metrics",
     "MPS",
     "MPSApproximator",
     "approximate_program",
@@ -95,4 +104,6 @@ __all__ = [
     "DeviceError",
     "EngineError",
     "ExperimentError",
+    "MetricError",
+    "StorageBackendError",
 ]

@@ -43,7 +43,7 @@ import urllib.error
 import urllib.request
 from collections.abc import Sequence
 
-from ..engine.spec import AnalysisJob
+from ..engine.spec import AnalysisJob, ComparisonJob, job_from_json_dict
 from ..errors import EngineError, error_from_envelope
 
 __all__ = ["Client"]
@@ -161,18 +161,20 @@ class Client:
         """Service discovery (``GET /v1/capabilities``) from the first replica."""
         return self._request("GET", "/v1/capabilities")
 
-    def submit(self, jobs: Sequence[AnalysisJob | dict]) -> list[dict]:
+    def submit(self, jobs: Sequence[AnalysisJob | ComparisonJob | dict]) -> list[dict]:
         """Submit one batch; returns the aligned list of status entries.
 
-        ``jobs`` may hold :class:`AnalysisJob` values or raw job payload
-        dicts.  Validation is all-or-nothing on the server: a rejected batch
+        ``jobs`` may hold :class:`AnalysisJob` / :class:`ComparisonJob`
+        values or raw job payload dicts (any registered ``kind``).
+        Validation is all-or-nothing on the server: a rejected batch
         executes nothing.  Against multiple replicas the batch is split by
         fingerprint shard and the entries re-assembled in submission order
         (validation then happens client-side first, preserving
         all-or-nothing across shards).
         """
         payloads = [
-            job.to_json_dict() if isinstance(job, AnalysisJob) else dict(job) for job in jobs
+            job.to_json_dict() if hasattr(job, "to_json_dict") else dict(job)
+            for job in jobs
         ]
         if len(self.base_urls) == 1:
             return self._request("POST", "/v1/batches", {"jobs": payloads})["jobs"]
@@ -181,8 +183,8 @@ class Client:
         # always reaches the replica that owns (and may have cached) it.
         fingerprints = [
             job.fingerprint()
-            if isinstance(job, AnalysisJob)
-            else AnalysisJob.from_json_dict(payload).fingerprint()
+            if hasattr(job, "fingerprint")
+            else job_from_json_dict(payload).fingerprint()
             for job, payload in zip(jobs, payloads)
         ]
         by_shard: dict[int, list[int]] = {}

@@ -15,7 +15,13 @@ JSONL — see :func:`parse_storage_url` for the full table):
 """
 
 from ...errors import EngineError
-from .base import OutcomeBackend, ResultBackend, count_backend_op, parse_storage_url
+from .base import (
+    SUPPORTED_SCHEMES,
+    OutcomeBackend,
+    ResultBackend,
+    count_backend_op,
+    parse_storage_url,
+)
 from .jsonl import JsonlOutcomeBackend, JsonlResultBackend
 from .memory import (
     MemoryOutcomeBackend,
@@ -27,6 +33,7 @@ from .sqlite import SqliteOutcomeBackend, SqliteResultBackend
 __all__ = [
     "OutcomeBackend",
     "ResultBackend",
+    "SUPPORTED_SCHEMES",
     "count_backend_op",
     "open_outcome_backend",
     "open_result_backend",

@@ -35,16 +35,21 @@ from __future__ import annotations
 import abc
 from collections.abc import Iterable
 
-from ...errors import EngineError
+from ...errors import EngineError, StorageBackendError
 from ...obs import metrics as obs_metrics
 from ..spec import JobResult
 
 __all__ = [
     "OutcomeBackend",
     "ResultBackend",
+    "SUPPORTED_SCHEMES",
     "count_backend_op",
     "parse_storage_url",
 ]
+
+#: Every URL scheme the backend registry can open (advertised in errors and
+#: capability payloads; bare paths additionally mean JSONL).
+SUPPORTED_SCHEMES = ("jsonl", "sqlite", "memory")
 
 
 def parse_storage_url(url: str) -> tuple[str, str]:
@@ -74,9 +79,12 @@ def parse_storage_url(url: str) -> tuple[str, str]:
         return "jsonl", location
     if "://" in url:
         scheme = url.split("://", 1)[0]
-        raise EngineError(
+        supported = ", ".join(f"{name}://" for name in SUPPORTED_SCHEMES)
+        raise StorageBackendError(
             f"unknown storage backend scheme {scheme!r} "
-            "(supported: jsonl://, sqlite://, memory://, or a bare JSONL path)"
+            f"(supported: {supported}, or a bare JSONL path)",
+            scheme=scheme,
+            supported=SUPPORTED_SCHEMES,
         )
     return "jsonl", url
 

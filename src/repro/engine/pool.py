@@ -64,7 +64,14 @@ from ..obs.trace import collecting, emit_spans, reset_tracing, span, tracing_act
 from ..sdp.diamond import gate_error_bounds_batch
 from . import costmodel
 from .outcomes import OutcomeCertificate, OutcomeStore
-from .spec import AnalysisJob, JobResult, _semantic_config_dict, canonical_json
+from .spec import (
+    AnalysisJob,
+    ComparisonJob,
+    JobResult,
+    _semantic_config_dict,
+    canonical_json,
+    job_from_json,
+)
 from .store import ResultStore
 
 __all__ = [
@@ -98,17 +105,29 @@ def _gate_signature(program: Program) -> tuple:
     return tuple(sorted(map(repr, keys)))
 
 
-def job_family(job: AnalysisJob) -> str:
+def job_family(job: AnalysisJob | ComparisonJob) -> str:
     """Cache-overlap shard key of a job (digest of gates + noise + width).
 
     Jobs of one family share gate-bound cache entries (same gate set, same
     noise model, same predicate quantisation width), so executing them in the
     same worker window lets one job's certified bounds warm the next job's
     persistent-cache lookups instead of being scattered across the pool.
+    Channel-pair comparisons have no program; they shard on the metric and
+    the channel identities instead, so identical pairs stay contiguous.
     """
     digest = hashlib.sha256()
-    digest.update(repr(_gate_signature(job.program)).encode())
-    digest.update(job.noise_model.name.encode())
+    if isinstance(job, ComparisonJob):
+        digest.update(job.metric.encode())
+        if job.mode == "channels":
+            digest.update((job.channel_a.name or "?").encode())
+            digest.update((job.channel_b.name or "?").encode())
+        else:
+            digest.update(repr(_gate_signature(job.program)).encode())
+            digest.update(job.noise_model_a.name.encode())
+            digest.update(job.noise_model_b.name.encode())
+    else:
+        digest.update(repr(_gate_signature(job.program)).encode())
+        digest.update(job.noise_model.name.encode())
     digest.update(str(job.config.mps_width).encode())
     return digest.hexdigest()[:16]
 
@@ -240,7 +259,7 @@ def _harvest_certificates(analyzer: GleipnirAnalyzer) -> list[OutcomeCertificate
 
 
 def execute_job_record(
-    job: AnalysisJob,
+    job: AnalysisJob | ComparisonJob,
     *,
     cache_dir: str | None = None,
     fingerprint: str | None = None,
@@ -254,7 +273,20 @@ def execute_job_record(
     ``collect_certificates=True`` the per-gate dual certificates are
     harvested from the job's bound cache so the engine can store them
     alongside the outcome; failures always return an empty certificate list.
+
+    :class:`~repro.engine.spec.ComparisonJob` batches dispatch to
+    :mod:`repro.engine.comparisons` (imported lazily — it builds on this
+    module's helpers) and flow through the same dedupe/store/pool machinery.
     """
+    if isinstance(job, ComparisonJob):
+        from .comparisons import execute_comparison_record
+
+        return execute_comparison_record(
+            job,
+            cache_dir=cache_dir,
+            fingerprint=fingerprint,
+            collect_certificates=collect_certificates,
+        )
     if fingerprint is None:
         fingerprint = job.fingerprint()
     config = _prepared_config(job, cache_dir)
@@ -296,7 +328,10 @@ def execute_job_record(
 
 
 def execute_job(
-    job: AnalysisJob, *, cache_dir: str | None = None, fingerprint: str | None = None
+    job: AnalysisJob | ComparisonJob,
+    *,
+    cache_dir: str | None = None,
+    fingerprint: str | None = None,
 ) -> JobResult:
     """Run one job to a :class:`JobResult`, capturing failures as statuses."""
     return execute_job_record(job, cache_dir=cache_dir, fingerprint=fingerprint)[0]
@@ -319,7 +354,7 @@ def _execute_payload(
     its ``time.perf_counter()`` origin (``trace_clock``) so the parent can
     re-base them onto its clock.
     """
-    job = AnalysisJob.from_json(payload)
+    job = job_from_json(payload)
     reset_tracing()  # fork children inherit the parent's active collector
     trace_clock = time.perf_counter()
     spans: list = []
@@ -509,11 +544,16 @@ class AnalysisEngine:
         }
         return [(fingerprint, job) for _family, fingerprint, job in keyed]
 
-    def run(self, jobs: Sequence[AnalysisJob], *, resume: bool = False) -> BatchReport:
+    def run(
+        self,
+        jobs: Sequence[AnalysisJob | ComparisonJob],
+        *,
+        resume: bool = False,
+    ) -> BatchReport:
         """Execute a batch and return results aligned with ``jobs``."""
         start = time.perf_counter()
         fingerprints = [job.fingerprint() for job in jobs]
-        unique: dict[str, AnalysisJob] = {}
+        unique: dict[str, AnalysisJob | ComparisonJob] = {}
         for fingerprint, job in zip(fingerprints, jobs):
             unique.setdefault(fingerprint, job)
 
@@ -627,6 +667,10 @@ class AnalysisEngine:
                 break
             if collected >= self.batch_window_max_classes:
                 break
+            if not isinstance(job, AnalysisJob):
+                # Comparison jobs have no single-program scheduler pre-pass;
+                # their SDP work still warms through the shared cache_dir.
+                continue
             try:
                 config = _prepared_config(job, cache_dir)
                 if not (config.scheduler and config.sdp.cache):

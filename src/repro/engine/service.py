@@ -75,12 +75,19 @@ import sys
 import threading
 import time
 
-from ..errors import BatchLimitExceeded
+from ..errors import BatchLimitExceeded, StorageBackendError
+from ..metrics import metric_capabilities
 from ..obs import metrics as obs_metrics
 from ..version import __version__
+from .backends import SUPPORTED_SCHEMES
 from .outcomes import OutcomeStore
 from .pool import AnalysisEngine
-from .spec import JOB_SCHEMA_VERSION, AnalysisJob
+from .spec import (
+    JOB_SCHEMA_VERSION,
+    AnalysisJob,
+    ComparisonJob,
+    job_from_json_dict,
+)
 from .store import ResultStore
 
 __all__ = ["AnalysisService", "API_VERSION", "TERMINAL_STATUSES", "make_server", "main"]
@@ -129,7 +136,7 @@ class AnalysisService:
         self.max_tracked = int(max_tracked)
         #: Largest number of jobs one submission may carry (413 beyond).
         self.max_submit = int(max_submit)
-        self._queue: queue.Queue[tuple[str, AnalysisJob]] = queue.Queue()
+        self._queue: queue.Queue[tuple[str, AnalysisJob | ComparisonJob]] = queue.Queue()
         self._status: dict[str, dict] = {}
         # One condition guards the status map and is notified whenever a job
         # reaches a terminal state, so waiters (long-poll handlers, the
@@ -207,7 +214,7 @@ class AnalysisService:
         :class:`~repro.errors.ReproError`) on malformed payloads — the HTTP
         layer maps those to a 400 response.
         """
-        return self.submit_job(AnalysisJob.from_json_dict(payload))
+        return self.submit_job(job_from_json_dict(payload))
 
     def submit_payloads(self, payloads: list[dict]) -> list[dict]:
         """Validate *every* payload before enqueuing *any* (all-or-nothing).
@@ -221,10 +228,10 @@ class AnalysisService:
                 f"batch of {len(payloads)} jobs exceeds the per-submission "
                 f"limit of {self.max_submit}"
             )
-        jobs = [AnalysisJob.from_json_dict(payload) for payload in payloads]
+        jobs = [job_from_json_dict(payload) for payload in payloads]
         return [self.submit_job(job) for job in jobs]
 
-    def submit_job(self, job: AnalysisJob) -> dict:
+    def submit_job(self, job: AnalysisJob | ComparisonJob) -> dict:
         """Enqueue an already-validated job; returns its status entry."""
         fingerprint = job.fingerprint()
         with self._lock:
@@ -306,6 +313,9 @@ class AnalysisService:
             "job_schema_version": JOB_SCHEMA_VERSION,
             "server": {"name": "gleipnir-serve", "version": __version__},
             "engine": self.engine.stats(),
+            "job_kinds": ["analysis_job", "comparison_job"],
+            "metrics": metric_capabilities(),
+            "storage_schemes": list(SUPPORTED_SCHEMES),
             "limits": {
                 "max_batch_jobs": self.max_submit,
                 "engine_batch_jobs": self.max_batch,
@@ -463,7 +473,7 @@ class AnalysisService:
         return None
 
     # -- batcher -----------------------------------------------------------
-    def _drain_batch(self) -> list[tuple[str, AnalysisJob]]:
+    def _drain_batch(self) -> list[tuple[str, AnalysisJob | ComparisonJob]]:
         """One coalescing window: the first job blocks, the rest are gathered."""
         try:
             batch = [self._queue.get(timeout=0.1)]
@@ -603,18 +613,24 @@ def main(argv: list[str] | None = None) -> int:
             obs_metrics.gauge(
                 "repro_replica_shard_count", "Total replica count of this deployment."
             ).set(args.shard_count)
-    engine = AnalysisEngine(
-        workers=args.workers,
-        store=ResultStore(args.store) if args.store else None,
-        cache_dir=args.cache_dir,
-        outcomes=(
-            OutcomeStore(args.outcomes, max_entries=args.outcomes_max_entries)
-            if args.outcomes
-            else None
-        ),
-        batch_window_ms=args.batch_window_ms,
-        batch_window_max_classes=args.batch_window_max_classes,
-    )
+    try:
+        engine = AnalysisEngine(
+            workers=args.workers,
+            store=ResultStore(args.store) if args.store else None,
+            cache_dir=args.cache_dir,
+            outcomes=(
+                OutcomeStore(args.outcomes, max_entries=args.outcomes_max_entries)
+                if args.outcomes
+                else None
+            ),
+            batch_window_ms=args.batch_window_ms,
+            batch_window_max_classes=args.batch_window_max_classes,
+        )
+    except StorageBackendError as exc:
+        # A typo'd --store/--outcomes scheme (redis://...) is an operator
+        # error, not a crash: one line naming what would work, exit 2.
+        print(f"gleipnir-serve: {exc}", file=sys.stderr)
+        return 2
     service = AnalysisService(
         engine,
         batch_window=args.batch_window,

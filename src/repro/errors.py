@@ -70,6 +70,15 @@ class ExperimentError(ReproError):
     """Raised by the experiment harness for invalid configurations."""
 
 
+class MetricError(ReproError):
+    """Raised for unknown metric names or invalid metric comparisons.
+
+    Examples: looking up a metric name nobody registered, comparing channels
+    of mismatched dimensions, or registering two metrics under one name.
+    Over ``/v1`` this maps to a 400 envelope like every other payload error.
+    """
+
+
 class EngineError(ReproError):
     """Raised by the analysis engine for invalid jobs, payloads, or stores.
 
@@ -77,6 +86,21 @@ class EngineError(ReproError):
     deserialising a job payload with an unknown schema version, or submitting
     a malformed job to the serving front-end.
     """
+
+
+class StorageBackendError(EngineError):
+    """Raised when a storage URL names an unknown or unusable backend scheme.
+
+    Carries the supported scheme list so operators see what *would* work
+    (``redis://`` is a popular guess); surfaces as a 400 envelope over
+    ``/v1`` and as a clean one-line error from the ``gleipnir-serve`` CLI.
+    """
+
+    def __init__(self, message: str, *, scheme: str | None = None,
+                 supported: tuple[str, ...] = ()):
+        super().__init__(message)
+        self.scheme = scheme
+        self.supported = tuple(supported)
 
 
 class JobNotFoundError(EngineError):

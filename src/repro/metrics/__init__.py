@@ -1,0 +1,40 @@
+"""Pluggable channel-metric registry.
+
+The public surface of the metrics subsystem: protocol classes, the built-in
+metrics, and the process-wide registry.  See :mod:`repro.metrics.base` for
+the certification-tier contract and ``docs/metrics.md`` for the walkthrough.
+"""
+
+from .base import (
+    TIER_CERTIFIED,
+    TIER_EXACT,
+    TIER_HEURISTIC,
+    ChannelMetric,
+    ChannelNorm,
+    MetricValue,
+    get_metric,
+    metric_capabilities,
+    register_metric,
+    registered_metrics,
+)
+from .channel_metrics import (
+    DiamondNormMetric,
+    ProcessFidelityMetric,
+    TraceNormMetric,
+)
+
+__all__ = [
+    "ChannelMetric",
+    "ChannelNorm",
+    "DiamondNormMetric",
+    "MetricValue",
+    "ProcessFidelityMetric",
+    "TIER_CERTIFIED",
+    "TIER_EXACT",
+    "TIER_HEURISTIC",
+    "TraceNormMetric",
+    "get_metric",
+    "metric_capabilities",
+    "register_metric",
+    "registered_metrics",
+]

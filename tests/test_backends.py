@@ -30,7 +30,7 @@ from repro.engine.outcomes import OutcomeStore
 from repro.engine.pool import AnalysisEngine, execute_job_record
 from repro.engine.spec import AnalysisJob, JobResult
 from repro.engine.store import ResultStore
-from repro.errors import EngineError
+from repro.errors import EngineError, StorageBackendError
 from repro.noise import NoiseModel
 
 FAST = AnalysisConfig(mps_width=4, sdp=SDPConfig(max_iterations=200, tolerance=1e-4))
@@ -318,3 +318,51 @@ class TestWarmColdProperty:
         assert warm_report.executed == 0 and warm_report.outcome_hits == 1
         assert warm_report.results[0].error_bound == cold.error_bound
         assert warm_report.results[0] == cold
+
+
+class TestStorageBackendError:
+    """Unknown URL schemes (satellite: redis:// is a popular guess)."""
+
+    def test_attributes_carry_scheme_and_supported_list(self):
+        from repro.engine.backends.base import SUPPORTED_SCHEMES
+
+        with pytest.raises(StorageBackendError) as excinfo:
+            parse_storage_url("redis://localhost:6379/0")
+        error = excinfo.value
+        assert error.scheme == "redis"
+        assert error.supported == SUPPORTED_SCHEMES
+        for scheme in SUPPORTED_SCHEMES:
+            assert scheme in str(error)
+
+    def test_envelope_roundtrip_preserves_the_class(self):
+        """The /v1 400 envelope reconstructs as StorageBackendError."""
+        from repro.errors import error_envelope, error_from_envelope
+
+        try:
+            parse_storage_url("redis://localhost:6379/0")
+        except StorageBackendError as exc:
+            envelope = error_envelope(exc, status=400)
+        entry = envelope["error"]
+        assert entry["type"] == "StorageBackendError"
+        assert entry["status"] == 400
+        assert entry["repro_error"] is True
+        assert "redis" in entry["message"]
+        rebuilt = error_from_envelope(envelope, status=400)
+        assert isinstance(rebuilt, StorageBackendError)
+        assert "redis" in str(rebuilt)
+
+    def test_facades_reject_unknown_schemes(self, tmp_path):
+        with pytest.raises(StorageBackendError):
+            ResultStore("redis://localhost/0")
+        with pytest.raises(StorageBackendError):
+            OutcomeStore("redis://localhost/0")
+
+    def test_gleipnir_serve_exits_2_with_one_line(self, capsys):
+        """A typo'd --store scheme is an operator error, not a traceback."""
+        from repro.engine.service import main
+
+        assert main(["--store", "redis://localhost/0", "--port", "0"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("gleipnir-serve: ")
+        assert "redis" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
